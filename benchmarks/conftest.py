@@ -1,0 +1,35 @@
+"""Shared benchmark configuration.
+
+Benchmarks regenerate the paper's tables and figures at the scale
+selected by ``REPRO_SCALE`` (default ``small``).  Results print to
+stdout (run pytest with ``-s`` to see them) and are also written to
+``benchmarks/out/``.
+
+All simulation runs are memoized inside :mod:`repro.experiments.runner`,
+so tables and figures that share runs (Table I, Fig. 6, Fig. 7) pay for
+them once per session.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a report and persist it under benchmarks/out/."""
+    print()
+    print(text)
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def bench_datasets(default: tuple[str, ...]) -> tuple[str, ...]:
+    """Dataset subset selected via REPRO_BENCH_DATASETS=mnist,ptb ..."""
+    raw = os.environ.get("REPRO_BENCH_DATASETS")
+    if not raw:
+        return default
+    chosen = tuple(x.strip() for x in raw.split(",") if x.strip())
+    return tuple(d for d in default if d in chosen) or default

@@ -1,0 +1,26 @@
+"""Ablation benchmark for FedBIAD's design choices (DESIGN.md §3).
+
+Quantifies: per-row vs paper-literal aggregation, the loss-trend rule,
+the score-driven stage two, the Bayesian initialization, and inverted-
+dropout rescaling — all on the FMNIST-like task at p=0.5.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import format_ablations, run_ablations
+
+from conftest import emit
+
+
+def test_ablations(benchmark):
+    rows = benchmark.pedantic(run_ablations, rounds=1, iterations=1)
+    emit("ablations", format_ablations(rows))
+
+    by_name = {r.name: r for r in rows}
+    full = by_name["fedbiad (full)"]
+    # literal Eq. (10) divides masked sums by the total weight, which
+    # shrinks dropped rows toward zero each round and costs accuracy
+    assert by_name["aggregation=paper-literal"].accuracy <= full.accuracy + 0.02
+    # every variant transmits the same masked payload
+    for r in rows:
+        assert abs(r.upload_bytes - full.upload_bytes) < 1.0

@@ -1,0 +1,28 @@
+"""Benchmark regenerating Fig. 7 (LTTR and time-to-accuracy).
+
+Expected shape (paper): FedBIAD's LTTR is slightly higher than the
+simpler dropout baselines (pattern/score bookkeeping), but its TTA is
+competitive because its uplink payload is the smallest.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import format_fig7, run_fig7
+
+from conftest import bench_datasets, emit
+
+
+def test_fig7(benchmark):
+    datasets = bench_datasets(("mnist", "fmnist", "wikitext2", "reddit"))
+
+    def run():
+        return run_fig7(datasets=datasets)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("fig7", format_fig7(rows))
+
+    assert all(r.lttr_seconds > 0 for r in rows)
+    # at least the image datasets reach their targets
+    image_rows = [r for r in rows if r.dataset in ("mnist", "fmnist")]
+    reached = [r for r in image_rows if r.tta_seconds is not None]
+    assert reached, "no image-task method reached its accuracy target"

@@ -1,0 +1,30 @@
+"""Benchmark regenerating Fig. 8 (dropout-rate sweep on Reddit).
+
+Expected shape (paper): FedAvg is flat across rates; the dropout
+methods' upload (and hence TTA transmission component) falls as the
+rate rises; accuracy degrades gracefully with the rate.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import format_fig8, run_fig8
+from repro.experiments.runner import run_experiment
+
+from conftest import emit
+
+
+def test_fig8(benchmark):
+    result = benchmark.pedantic(run_fig8, rounds=1, iterations=1)
+    emit("fig8", format_fig8(result))
+
+    fedavg_accs = {r.accuracy for r in result if r.method == "fedavg"}
+    assert len(fedavg_accs) == 1  # FedAvg ignores the dropout rate
+
+    # FedBIAD's payload shrinks monotonically with the dropout rate
+    uploads = []
+    for rate in (0.3, 0.5, 0.7):
+        run = run_experiment(
+            "reddit", "fedbiad", config_overrides={"dropout_rate": rate}
+        )
+        uploads.append(run.upload_bits)
+    assert uploads[0] > uploads[1] > uploads[2]

@@ -1,0 +1,33 @@
+"""Benchmark regenerating Table I (7 methods x 5 datasets).
+
+Expected shape (paper): FedBIAD reaches the best or near-best accuracy
+at the largest save ratio (1.25x at p=0.2 on MNIST, ~2x elsewhere);
+FedDrop/AFD save little on LSTM tasks because they cannot drop
+recurrent rows.
+"""
+
+from __future__ import annotations
+
+from repro.data.registry import TASK_NAMES
+from repro.experiments import format_table1, run_table1
+
+from conftest import bench_datasets, emit
+
+
+def test_table1(benchmark):
+    datasets = bench_datasets(TASK_NAMES)
+
+    def run():
+        return run_table1(datasets=datasets)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("table1", format_table1(rows))
+
+    by_key = {(r.dataset, r.method): r for r in rows}
+    for dataset in datasets:
+        fedavg = by_key[(dataset, "fedavg")]
+        fedbiad = by_key[(dataset, "fedbiad")]
+        # FedBIAD's headline communication result: the best save ratio
+        # of the dropout family, and a real reduction vs FedAvg.
+        assert fedbiad.save_ratio > 1.15
+        assert fedbiad.upload_bytes < fedavg.upload_bytes

@@ -1,0 +1,33 @@
+"""Benchmark regenerating Table II (sketched compression comparison).
+
+Expected shape (paper): FedBIAD+DGC transmits roughly half the bytes of
+naive DGC (the dropout halves the eligible coordinates) and at least
+matches its accuracy band; FedPAQ sits at a fixed 4x (32/8 bits);
+SignSGD at ~32x.
+"""
+
+from __future__ import annotations
+
+from repro.data.registry import TASK_NAMES
+from repro.experiments import format_table2, run_table2
+
+from conftest import bench_datasets, emit
+
+
+def test_table2(benchmark):
+    datasets = bench_datasets(TASK_NAMES)
+
+    def run():
+        return run_table2(datasets=datasets)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("table2", format_table2(rows))
+
+    by_key = {(r.dataset, r.method): r for r in rows}
+    for dataset in datasets:
+        naive = by_key[(dataset, "dgc")]
+        combined = by_key[(dataset, "fedbiad+dgc")]
+        assert combined.upload_bytes < naive.upload_bytes
+        # FedPAQ is an 8-bit quantizer: save ratio close to 32/8 = 4
+        fedpaq = by_key[(dataset, "fedpaq")]
+        assert 3.0 < fedpaq.save_ratio < 4.5

@@ -1,0 +1,55 @@
+"""Benchmark tracing Theorem 1's bound along a real training schedule.
+
+Not a table in the paper, but the quantitative side of Section IV-F:
+prints the posterior variance (Eq. 13) and generalization bound
+(Eq. 14/15) as the round index grows, plus the Hoelder upper/minimax
+lower rate curves whose shared exponent is the optimality claim.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import format_table
+from repro.theory import (
+    ModelStructure,
+    client_data_floor,
+    generalization_bound,
+    holder_upper_rate,
+    minimax_lower_rate,
+    posterior_variance,
+)
+
+from conftest import emit
+
+
+def trace_bound():
+    structure = ModelStructure(unsparse=26_000, layers=3, width=48, input_dim=48)
+    rows = []
+    for round_index in (1, 5, 15, 30, 60):
+        m_r = client_data_floor(round_index, local_iterations=10, min_client_samples=2000)
+        rows.append(
+            [
+                str(round_index),
+                f"{m_r}",
+                f"{posterior_variance(structure, m_r):.3e}",
+                f"{generalization_bound(structure, m_r):.4f}",
+                f"{holder_upper_rate(m_r, gamma=1.0, d=48):.4f}",
+                f"{minimax_lower_rate(m_r, gamma=1.0, d=48):.4f}",
+            ]
+        )
+    return rows
+
+
+def test_theory_bound_trace(benchmark):
+    rows = benchmark.pedantic(trace_bound, rounds=1, iterations=1)
+    emit(
+        "theory",
+        format_table(
+            ["round r", "m_r", "s2 (Eq.13)", "bound (Eq.14)", "upper (Eq.17)", "lower (Eq.18)"],
+            rows,
+            title="Theorem 1: generalization bound along the training schedule",
+        ),
+    )
+    bounds = [float(r[3]) for r in rows]
+    assert bounds == sorted(bounds, reverse=True)  # decreasing in rounds

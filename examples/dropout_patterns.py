@@ -1,0 +1,61 @@
+"""Visualize the three dropout families of Fig. 1 from the real code.
+
+Prints ASCII heat-grids of which rows each strategy keeps for an MLP
+weight matrix: random (FedDrop), ordered (FjORD), and FedBIAD's
+score-adaptive pattern after simulated training experience.
+
+Run with::
+
+    python examples/dropout_patterns.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.masks import ordered_keep, random_keep
+from repro.core.scores import WeightScores
+from repro.fl.rows import RowSpace
+from repro.nn.models import MLPClassifier
+
+
+def render(mask: np.ndarray, importance: np.ndarray, label: str) -> None:
+    print(f"-- {label} --")
+    cells = []
+    for keep, score in zip(mask, importance):
+        shade = " .:-=+*#%@"[min(int(score * 9.99), 9)]
+        cells.append(shade if keep else "x")
+    print("  rows: " + "".join(cells) + "   ('x' = dropped, shading = importance)")
+    kept_importance = importance[mask].sum() / importance.sum()
+    print(f"  retained importance mass: {kept_importance:.2f}\n")
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    model = MLPClassifier(input_dim=24, hidden_dims=(32,), n_classes=10, rng=rng)
+    space = RowSpace.from_module(model)
+    n = space.total_rows
+    p = 0.5
+
+    # ground-truth importance of each hidden row (unknown to the methods)
+    importance = np.sort(rng.random(n))[::-1].copy()
+    rng.shuffle(importance)
+
+    render(random_keep(n, 1 - p, rng), importance, "random dropout (FedDrop)")
+    render(ordered_keep(n, 1 - p), importance, "ordered dropout (FjORD)")
+
+    # FedBIAD: simulate the experience loop — patterns that keep heavy
+    # rows produce loss decreases, and Eq. (9) accumulates their scores
+    scores = WeightScores(n)
+    for _ in range(300):
+        beta = space.sample_pattern(p, rng)
+        quality = importance[beta].sum() / importance.sum()
+        delta = -1.0 if quality > (1 - p) else 1.0
+        nxt = space.sample_pattern(p, rng) if delta > 0 else beta
+        scores.update(beta, delta, nxt)
+    adaptive = space.pattern_from_scores(scores.values, p)
+    render(adaptive, importance, "adaptive dropout (FedBIAD, stage two)")
+
+
+if __name__ == "__main__":
+    main()

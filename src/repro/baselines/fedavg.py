@@ -1,0 +1,36 @@
+"""FedAvg (McMahan et al., 2017) — the uncompressed baseline.
+
+Every selected client trains the full model for ``V`` local iterations
+and uploads all weights; the server computes the data-weighted average.
+Table I's "Save Ratio" column is defined relative to this method's
+upload size.
+"""
+
+from __future__ import annotations
+
+from ..fl.aggregation import ClientPayload
+from ..fl.client import ClientContext, ClientUpdate, FederatedMethod, run_local_sgd
+from ..fl.parameters import ParamSet
+from ..fl.sizing import dense_bits
+
+__all__ = ["FedAvg"]
+
+
+class FedAvg(FederatedMethod):
+    """Dense federated averaging."""
+
+    name = "fedavg"
+    drops_recurrent = False
+
+    def client_update(self, ctx: ClientContext) -> ClientUpdate:
+        model = ctx.model
+        ctx.global_params.to_module(model)
+        optimizer = self.make_optimizer(model)
+        losses = run_local_sgd(model, optimizer, ctx.batcher, ctx.config.local_iterations)
+        params = ParamSet.from_module(model)
+        payload = ClientPayload(params=params, weight=float(ctx.n_samples))
+        return ClientUpdate(
+            payload=payload,
+            upload_bits=dense_bits(params),
+            train_losses=losses,
+        )

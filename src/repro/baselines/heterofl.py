@@ -1,0 +1,64 @@
+"""HeteroFL (Diao et al., 2021) — static heterogeneous width shrinking.
+
+HeteroFL assigns each client a *fixed* hidden-width shrinkage ratio
+based on its (simulated) capability class and aggregates parameter
+regions over the clients that cover them — exactly the per-row/
+per-element normalization our aggregation layer implements.
+
+Unlike FjORD-at-rate-p (where every client trains the same prefix),
+HeteroFL's full-width clients keep the tail units training, at the cost
+of a smaller average upload saving.  The default capability mix places
+two thirds of clients at width ``(1-p)`` and one third at full width,
+which lands the mean save ratio in the paper's 1.4-1.6x band.
+"""
+
+from __future__ import annotations
+
+from ..fl.aggregation import ClientPayload
+from ..fl.client import ClientContext, ClientUpdate, FederatedMethod
+from ..fl.parameters import ParamSet
+from ..fl.sizing import FLOAT_BITS
+from .fjord import ordered_model_masks
+from .masks import kept_entries, run_masked_element_sgd
+
+__all__ = ["HeteroFL"]
+
+
+class HeteroFL(FederatedMethod):
+    """Per-client static width levels with region-wise aggregation."""
+
+    name = "heterofl"
+    drops_recurrent = True
+
+    def __init__(self, levels: tuple[float, ...] | None = None) -> None:
+        super().__init__()
+        self.levels = levels
+
+    def resolved_levels(self) -> tuple[float, ...]:
+        if self.levels:
+            return self.levels
+        small = 1.0 - self.config.dropout_rate
+        return (small, small, 1.0)
+
+    def client_width(self, client_id: int) -> float:
+        levels = self.resolved_levels()
+        return levels[client_id % len(levels)]
+
+    def client_update(self, ctx: ClientContext) -> ClientUpdate:
+        model = ctx.model
+        ctx.global_params.to_module(model)
+        width = self.client_width(ctx.client_id)
+        masks = ordered_model_masks(model, width)
+        optimizer = self.make_optimizer(model)
+        losses = run_masked_element_sgd(
+            model, optimizer, ctx.batcher, ctx.config.local_iterations, masks
+        )
+        params = ParamSet.from_module(model)
+        payload = ClientPayload(params=params, weight=float(ctx.n_samples), masks=masks)
+        bits = FLOAT_BITS * kept_entries(masks, params)
+        return ClientUpdate(
+            payload=payload,
+            upload_bits=bits,
+            train_losses=losses,
+            aux={"width": width},
+        )

@@ -1,0 +1,13 @@
+"""Communication cost and training-time models."""
+
+from .network import TMOBILE_5G, NetworkModel
+from .timing import RoundTiming, lttr_seconds, round_timings, time_to_accuracy
+
+__all__ = [
+    "TMOBILE_5G",
+    "NetworkModel",
+    "RoundTiming",
+    "lttr_seconds",
+    "round_timings",
+    "time_to_accuracy",
+]

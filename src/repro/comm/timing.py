@@ -1,0 +1,81 @@
+"""Training-time metrics: LTTR and Time-To-Accuracy (Section V-C).
+
+* **LTTR** (Local Training Time in a Round) characterizes local compute
+  cost; we use the measured wall-clock of each simulated client update.
+* **TTA** (Time-To-Accuracy) is the total time to reach a target test
+  accuracy, composed — exactly as in the paper — of local running time,
+  parameter transmission time over the modeled 5G link, and parameter
+  aggregation time.  Selected clients run in parallel, so a round's
+  wall time is the slowest client's local time plus its transfers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..fl.metrics import History
+from .network import NetworkModel, TMOBILE_5G
+
+__all__ = ["RoundTiming", "round_timings", "lttr_seconds", "time_to_accuracy"]
+
+
+@dataclass(frozen=True)
+class RoundTiming:
+    """Wall-clock decomposition of one global round."""
+
+    round_index: int
+    compute_seconds: float
+    upload_seconds: float
+    download_seconds: float
+    aggregation_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return (
+            self.compute_seconds
+            + self.upload_seconds
+            + self.download_seconds
+            + self.aggregation_seconds
+        )
+
+
+def round_timings(history: History, network: NetworkModel = TMOBILE_5G) -> list[RoundTiming]:
+    """Per-round wall-clock model from a run's history."""
+    out = []
+    for r in history.records:
+        out.append(
+            RoundTiming(
+                round_index=r.round_index,
+                compute_seconds=r.lttr_seconds_mean,
+                upload_seconds=network.upload_seconds(r.upload_bits_mean),
+                download_seconds=network.download_seconds(r.download_bits_per_client),
+                aggregation_seconds=r.aggregation_seconds,
+            )
+        )
+    return out
+
+
+def lttr_seconds(history: History) -> float:
+    """Mean local training time per round (Fig. 7a/7b)."""
+    return float(np.mean(history.series("lttr_seconds_mean")))
+
+
+def time_to_accuracy(
+    history: History,
+    target_accuracy: float,
+    network: NetworkModel = TMOBILE_5G,
+) -> float | None:
+    """Cumulative wall-clock until the test accuracy first reaches target.
+
+    Returns ``None`` when the run never reaches it (the paper's Fig. 7c/d
+    bars only cover configurations that do).
+    """
+    timings = round_timings(history, network)
+    elapsed = 0.0
+    for record, timing in zip(history.records, timings):
+        elapsed += timing.total_seconds
+        if np.isfinite(record.test_accuracy) and record.test_accuracy >= target_accuracy:
+            return elapsed
+    return None

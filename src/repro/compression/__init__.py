@@ -1,0 +1,25 @@
+"""Sketched compression methods and their composition with dropout."""
+
+from .base import Compressor, allowed_count, flatten_allowed, masked_delta
+from .combined import SketchedMethod
+from .dgc import DGC
+from .fedpaq import FedPAQ, uniform_quantize
+from .registry import COMPRESSOR_NAMES, make_compressor, make_sketched
+from .signsgd import SignSGD
+from .stc import STC
+
+__all__ = [
+    "Compressor",
+    "allowed_count",
+    "flatten_allowed",
+    "masked_delta",
+    "SketchedMethod",
+    "DGC",
+    "FedPAQ",
+    "uniform_quantize",
+    "SignSGD",
+    "STC",
+    "COMPRESSOR_NAMES",
+    "make_compressor",
+    "make_sketched",
+]

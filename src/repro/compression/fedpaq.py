@@ -1,0 +1,80 @@
+"""FedPAQ (Reisizadeh et al., AISTATS 2020) — periodic averaging with
+quantization.
+
+We model its quantizer: per-tensor uniform quantization of the update to
+``q`` bits (8 by default, as in the paper's Table II comparison), with a
+32-bit ``(min, max)`` range pair per tensor.  The 4x save ratio of
+Table II is exactly 32/8.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..fl.parameters import ParamSet
+from ..fl.sizing import quantized_bits
+from .base import Compressor, allowed_count
+
+__all__ = ["FedPAQ", "uniform_quantize"]
+
+
+def uniform_quantize(
+    values: np.ndarray, bits: int, rng: np.random.Generator | None = None
+) -> np.ndarray:
+    """Uniform (optionally stochastic) quantization over the value range.
+
+    Returns the *dequantized* reconstruction.  With ``rng`` given, uses
+    stochastic rounding (unbiased, as in the FedPAQ analysis); otherwise
+    round-to-nearest.
+    """
+    if values.size == 0:
+        return values.copy()
+    lo = float(values.min())
+    hi = float(values.max())
+    if hi <= lo:
+        return np.full_like(values, lo)
+    levels = (1 << bits) - 1
+    step = (hi - lo) / levels
+    scaled = (values - lo) / step
+    if rng is not None:
+        floor = np.floor(scaled)
+        q = floor + (rng.random(values.shape) < (scaled - floor))
+    else:
+        q = np.round(scaled)
+    return lo + q * step
+
+
+class FedPAQ(Compressor):
+    """Per-tensor q-bit uniform quantization of the update."""
+
+    name = "fedpaq"
+
+    def __init__(self, bits: int = 8, stochastic: bool = True) -> None:
+        if not 1 <= bits <= 16:
+            raise ValueError("bits must be in [1, 16]")
+        self.bits = bits
+        self.stochastic = stochastic
+
+    def compress(
+        self,
+        delta: ParamSet,
+        allowed: dict[str, np.ndarray] | None,
+        state: dict,
+        rng: np.random.Generator,
+    ) -> tuple[ParamSet, int]:
+        out = {}
+        for name, value in delta.items():
+            mask = None if allowed is None else allowed.get(name)
+            q_rng = rng if self.stochastic else None
+            if mask is None:
+                out[name] = uniform_quantize(value, self.bits, q_rng)
+            else:
+                mask = np.asarray(mask, dtype=bool)
+                recon = np.zeros_like(value)
+                if mask.any():
+                    recon[mask] = uniform_quantize(value[mask], self.bits, q_rng)
+                out[name] = recon
+        bits = quantized_bits(
+            allowed_count(delta, allowed), n_tensors=len(delta), bits=self.bits
+        )
+        return ParamSet(out), bits

@@ -1,0 +1,51 @@
+"""Factory for sketched and combined methods ("fedbiad+dgc", "stc", ...)."""
+
+from __future__ import annotations
+
+from ..baselines.registry import make_method
+from .base import Compressor
+from .combined import SketchedMethod
+from .dgc import DGC
+from .fedpaq import FedPAQ
+from .signsgd import SignSGD
+from .stc import STC
+
+__all__ = ["COMPRESSOR_NAMES", "make_compressor", "make_sketched"]
+
+_COMPRESSORS = {
+    "dgc": DGC,
+    "signsgd": SignSGD,
+    "fedpaq": FedPAQ,
+    "stc": STC,
+}
+
+COMPRESSOR_NAMES = tuple(_COMPRESSORS)
+
+
+def make_compressor(name: str, **kwargs) -> Compressor:
+    try:
+        factory = _COMPRESSORS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown compressor {name!r}; choose from {tuple(_COMPRESSORS)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def make_sketched(spec: str, compressor_kwargs: dict | None = None, **base_kwargs) -> SketchedMethod:
+    """Build a sketched method from a ``"base+compressor"`` spec.
+
+    ``"dgc"`` alone means FedAvg training with DGC on the uplink (the
+    naive sketched baseline); ``"fedbiad+dgc"`` is the paper's combined
+    system of Fig. 5.
+
+    >>> make_sketched("fedbiad+dgc", compressor_kwargs={"keep_fraction": 0.02})
+    >>> make_sketched("signsgd")
+    """
+    if "+" in spec:
+        base_name, comp_name = spec.split("+", 1)
+    else:
+        base_name, comp_name = "fedavg", spec
+    base = make_method(base_name, **base_kwargs)
+    compressor = make_compressor(comp_name, **(compressor_kwargs or {}))
+    return SketchedMethod(base, compressor)

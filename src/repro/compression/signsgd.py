@@ -1,0 +1,47 @@
+"""SignSGD (Bernstein et al., ICML 2018) — 1-bit quantization.
+
+Transmits only the sign of every allowed update entry plus one 32-bit
+scale (the mean absolute value) per tensor.  Reconstruction is
+``sign * scale``.  The heavy quantization noise accumulates over
+rounds, which is the accuracy weakness Table II shows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..fl.parameters import ParamSet
+from ..fl.sizing import sign_bits
+from .base import Compressor, allowed_count
+
+__all__ = ["SignSGD"]
+
+
+class SignSGD(Compressor):
+    """Per-tensor sign compression with a mean-magnitude scale."""
+
+    name = "signsgd"
+
+    def compress(
+        self,
+        delta: ParamSet,
+        allowed: dict[str, np.ndarray] | None,
+        state: dict,
+        rng: np.random.Generator,
+    ) -> tuple[ParamSet, int]:
+        out = {}
+        for name, value in delta.items():
+            mask = None if allowed is None else allowed.get(name)
+            if mask is None:
+                selected = value
+                scale = float(np.mean(np.abs(selected))) if selected.size else 0.0
+                out[name] = np.sign(value) * scale
+            else:
+                mask = np.asarray(mask, dtype=bool)
+                if mask.any():
+                    scale = float(np.mean(np.abs(value[mask])))
+                else:
+                    scale = 0.0
+                out[name] = np.sign(value) * scale * mask
+        bits = sign_bits(allowed_count(delta, allowed), n_tensors=len(delta))
+        return ParamSet(out), bits

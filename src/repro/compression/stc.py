@@ -1,0 +1,67 @@
+"""STC — Sparse Ternary Compression (Sattler et al., 2020).
+
+Combines top-k sparsification with ternary quantization: the k
+largest-magnitude entries are transmitted as ``sign * mu`` where ``mu``
+is their mean magnitude.  Wire cost: one sign bit and a 64-bit position
+per surviving entry plus one 32-bit scale.  Error feedback keeps the
+quantization residual locally, as in the original method.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..fl.parameters import ParamSet
+from ..fl.sizing import ternary_sparse_bits
+from .base import Compressor, flatten_allowed, masked_delta
+
+__all__ = ["STC"]
+
+
+class STC(Compressor):
+    """Top-k + ternary quantization with error feedback."""
+
+    name = "stc"
+
+    def __init__(self, keep_fraction: float = 0.01) -> None:
+        if not 0.0 < keep_fraction <= 1.0:
+            raise ValueError("keep_fraction must be in (0, 1]")
+        self.keep_fraction = keep_fraction
+
+    def compress(
+        self,
+        delta: ParamSet,
+        allowed: dict[str, np.ndarray] | None,
+        state: dict,
+        rng: np.random.Generator,
+    ) -> tuple[ParamSet, int]:
+        flat = masked_delta(delta, allowed).flatten()
+        allowed_flat = flatten_allowed(delta, allowed)
+
+        residual = state.get("stc_residual")
+        if residual is None or residual.size != flat.size:
+            residual = np.zeros_like(flat)
+        accumulated = residual + flat
+        accumulated[~allowed_flat] = 0.0
+
+        n_allowed = int(np.count_nonzero(allowed_flat))
+        k = max(1, int(np.ceil(self.keep_fraction * n_allowed)))
+        magnitudes = np.abs(accumulated)
+        magnitudes[~allowed_flat] = -np.inf
+        if k < flat.size:
+            selected = np.argpartition(-magnitudes, kth=k - 1)[:k]
+        else:
+            selected = np.arange(flat.size)
+
+        mu = float(np.mean(np.abs(accumulated[selected]))) if selected.size else 0.0
+        out = np.zeros_like(flat)
+        out[selected] = np.sign(accumulated[selected]) * mu
+
+        # error feedback: keep what was not (exactly) transmitted
+        new_residual = accumulated.copy()
+        new_residual[selected] -= out[selected]
+        new_residual[~allowed_flat] = 0.0
+        state["stc_residual"] = new_residual
+
+        bits = ternary_sparse_bits(k, n_tensors=1)
+        return ParamSet.from_flat(delta, out), bits

@@ -1,0 +1,25 @@
+"""FedBIAD — the paper's contribution (Bayesian adaptive dropout)."""
+
+from .adaptive import LossTrendTracker
+from .client import FedBIAD
+from .scores import WeightScores
+from .spike_slab import (
+    ModelStructure,
+    posterior_variance,
+    sample_model_init,
+    structure_from_spec,
+)
+from .wire import RowUpload, pack_upload, reconstruct_upload
+
+__all__ = [
+    "FedBIAD",
+    "LossTrendTracker",
+    "WeightScores",
+    "ModelStructure",
+    "posterior_variance",
+    "sample_model_init",
+    "structure_from_spec",
+    "RowUpload",
+    "pack_upload",
+    "reconstruct_upload",
+]

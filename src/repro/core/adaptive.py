@@ -1,0 +1,62 @@
+"""Loss-trend tracking for adaptive dropout (Eq. 8, Algorithm 1 l.18-25).
+
+During stage one each client watches the *trend* of its training loss:
+
+    Delta L^{k,v} = mean(L over iterations v-tau+1..v)
+                  - mean(L over iterations v-2tau+1..v-tau)
+
+computed whenever ``v > tau`` and ``v % tau == 0`` (and at least ``2
+tau`` losses exist, as Eq. (8) requires ``v >= 2 tau``).  A positive
+delta means the current dropping pattern is hurting the loss, so the
+client resamples it for the next ``tau`` iterations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LossTrendTracker"]
+
+
+class LossTrendTracker:
+    """Windowed loss-gap computation over a training round."""
+
+    def __init__(self, tau: int) -> None:
+        if tau < 1:
+            raise ValueError("tau must be >= 1")
+        self.tau = tau
+        self._losses: list[float] = []
+
+    def record(self, loss: float) -> None:
+        """Record the loss of one local iteration."""
+        self._losses.append(float(loss))
+
+    @property
+    def iterations(self) -> int:
+        return len(self._losses)
+
+    @property
+    def losses(self) -> list[float]:
+        """All recorded per-iteration losses (chronological)."""
+        return list(self._losses)
+
+    def is_judgment_point(self) -> bool:
+        """Algorithm 1 line 18: ``v > tau and v % tau == 0`` with both
+        windows available (Eq. 8 requires ``v >= 2 tau``)."""
+        v = len(self._losses)
+        return v >= 2 * self.tau and v % self.tau == 0
+
+    def delta(self) -> float:
+        """Eq. (8): current window mean minus previous window mean."""
+        v = len(self._losses)
+        if v < 2 * self.tau:
+            raise RuntimeError(f"need at least {2 * self.tau} losses, have {v}")
+        current = np.mean(self._losses[v - self.tau : v])
+        previous = np.mean(self._losses[v - 2 * self.tau : v - self.tau])
+        return float(current - previous)
+
+    def window_mean(self) -> float:
+        """Mean of the most recent window (the paper's L-bar)."""
+        if not self._losses:
+            raise RuntimeError("no losses recorded")
+        return float(np.mean(self._losses[-self.tau :]))

@@ -1,0 +1,68 @@
+"""The experience-based importance indicator (Section IV-D, Eq. 9).
+
+Each client maintains a *weight score vector* ``E^k`` with one entry per
+droppable row.  At every judgment point of the adaptive loop the scores
+of currently-held rows are incremented:
+
+* if the loss trend improved (``Delta L <= 0``), every held row gets +1;
+* otherwise a held row gets +1 only if it remains held in the
+  *resampled* pattern (the ``e_j`` indicator of Eq. (9)).
+
+Rows that repeatedly participate in loss-decreasing patterns accumulate
+score fastest; in stage two the client keeps the top-scored rows
+(p-quantile thresholding — see :meth:`repro.fl.rows.RowSpace.pattern_from_scores`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["WeightScores"]
+
+
+class WeightScores:
+    """Per-row dropout-experience scores for one client."""
+
+    def __init__(self, n_rows: int) -> None:
+        if n_rows < 1:
+            raise ValueError("n_rows must be >= 1")
+        self.values = np.zeros(n_rows, dtype=np.float64)
+
+    @property
+    def n_rows(self) -> int:
+        return self.values.shape[0]
+
+    def update(
+        self,
+        held: np.ndarray,
+        delta: float,
+        next_held: np.ndarray,
+    ) -> None:
+        """Apply Eq. (9) at one judgment point.
+
+        Parameters
+        ----------
+        held:
+            Boolean pattern active during the judged window
+            (``beta^{k,v}``).
+        delta:
+            The loss gap ``Delta L^{k,v}`` of Eq. (8).
+        next_held:
+            The pattern for the next window (``beta^{k,v+1}``); equal to
+            ``held`` when the trend did not trigger a resample.
+        """
+        held = np.asarray(held, dtype=bool)
+        next_held = np.asarray(next_held, dtype=bool)
+        if held.shape != (self.n_rows,) or next_held.shape != (self.n_rows,):
+            raise ValueError("pattern shape mismatch with score vector")
+        if delta <= 0.0:
+            self.values[held] += 1.0
+        else:
+            self.values[held & next_held] += 1.0
+
+    def quantile_threshold(self, dropout_rate: float) -> float:
+        """The paper's lambda_r^k: the p-quantile of ``E^k``."""
+        return float(np.quantile(self.values, dropout_rate))
+
+    def snapshot(self) -> np.ndarray:
+        return self.values.copy()

@@ -1,0 +1,79 @@
+"""Uplink wire format: pack kept rows, reconstruct on the server.
+
+Models steps 3-4 of the FedBIAD overview (Fig. 3): the client transmits
+only the variational parameters of non-dropped rows plus the binary
+pattern; the server scatters them back into full-shaped matrices with
+zeros in the dropped rows (``beta ∘ U``), ready for aggregation.
+
+The FedBIAD client round-trips its result through this format so the
+simulation measures exactly what a real deployment would transmit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..fl.parameters import ParamSet
+from ..fl.rows import RowSpace
+from ..fl.sizing import masked_bits
+
+__all__ = ["RowUpload", "pack_upload", "reconstruct_upload"]
+
+
+@dataclass
+class RowUpload:
+    """The bytes a FedBIAD client puts on the uplink.
+
+    Attributes
+    ----------
+    beta:
+        Global dropping pattern (1 bit per row on the wire).
+    rows:
+        Per-matrix arrays of the *kept* rows only.
+    dense:
+        Non-droppable parameters (biases), always transmitted.
+    """
+
+    beta: np.ndarray
+    rows: dict[str, np.ndarray]
+    dense: dict[str, np.ndarray]
+
+    def bits(self, template: ParamSet, rowspace: RowSpace) -> int:
+        """Wire size under the paper's 32-bit/weight + 1-bit/row format."""
+        return masked_bits(template, rowspace, self.beta)
+
+
+def pack_upload(params: ParamSet, rowspace: RowSpace, beta: np.ndarray) -> RowUpload:
+    """Extract kept rows and dense parameters from a full parameter set."""
+    masks = rowspace.split(beta)
+    rows = {}
+    dense = {}
+    for name, value in params.items():
+        if rowspace.has(name):
+            rows[name] = value[masks[name]].copy()
+        else:
+            dense[name] = value.copy()
+    return RowUpload(beta=np.asarray(beta, dtype=bool).copy(), rows=rows, dense=dense)
+
+
+def reconstruct_upload(
+    upload: RowUpload,
+    rowspace: RowSpace,
+    template: ParamSet,
+) -> ParamSet:
+    """Server-side reconstruction of ``beta ∘ U`` (overview step 4).
+
+    ``template`` supplies shapes only; dropped rows come back as zeros.
+    """
+    masks = rowspace.split(upload.beta)
+    out = {}
+    for name, value in template.items():
+        if rowspace.has(name):
+            full = np.zeros_like(value)
+            full[masks[name]] = upload.rows[name]
+            out[name] = full
+        else:
+            out[name] = upload.dense[name].copy()
+    return ParamSet(out)

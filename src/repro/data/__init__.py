@@ -1,0 +1,50 @@
+"""Synthetic datasets, partitioning and batching for the FL simulation."""
+
+from .batching import (
+    ImageBatcher,
+    SequenceBatcher,
+    eval_image_batches,
+    eval_sequence_batches,
+)
+from .images import ImageDataset, class_prototypes, make_image_dataset
+from .partition import (
+    partition_dirichlet,
+    partition_iid,
+    partition_label_shards,
+    partition_stream_contiguous,
+)
+from .registry import TASK_NAMES, FederatedTask, make_task, task_summary
+from .text import (
+    MarkovLM,
+    TextCorpus,
+    build_markov_lm,
+    make_text_corpus,
+    make_user_corpora,
+    perturb_topic,
+)
+from .vocab import Vocabulary
+
+__all__ = [
+    "ImageBatcher",
+    "SequenceBatcher",
+    "eval_image_batches",
+    "eval_sequence_batches",
+    "ImageDataset",
+    "class_prototypes",
+    "make_image_dataset",
+    "partition_dirichlet",
+    "partition_iid",
+    "partition_label_shards",
+    "partition_stream_contiguous",
+    "TASK_NAMES",
+    "FederatedTask",
+    "make_task",
+    "task_summary",
+    "MarkovLM",
+    "TextCorpus",
+    "build_markov_lm",
+    "make_text_corpus",
+    "make_user_corpora",
+    "perturb_topic",
+    "Vocabulary",
+]

@@ -1,0 +1,248 @@
+"""Federated task registry: the five evaluation datasets of the paper.
+
+``make_task(name, scale, seed)`` builds a :class:`FederatedTask` — the
+client shards, the global test set, the model specification, and the
+evaluation metric — for one of:
+
+=============  =========================  =======  ==========  ========
+name           substitute for             kind     partition   metric
+=============  =========================  =======  ==========  ========
+``mnist``      MNIST                      image    non-IID     top-1
+``fmnist``     Fashion-MNIST              image    non-IID     top-1
+``ptb``        Penn TreeBank              text     IID         top-3
+``wikitext2``  WikiText-2                 text     IID         top-3
+``reddit``     LEAF Reddit (top users)    text     per-user    top-3
+=============  =========================  =======  ==========  ========
+
+Two scales are provided: ``"small"`` (laptop-friendly: the default for
+tests and benchmarks) and ``"paper"`` (the paper's client counts and
+model widths; hours of CPU time).  The paper's metric conventions are
+kept: top-1 accuracy for image classification, top-3 for next-word
+prediction (mobile keyboards show three candidates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from .batching import (
+    ImageBatcher,
+    SequenceBatcher,
+    eval_image_batches,
+    eval_sequence_batches,
+)
+from .images import make_image_dataset
+from .partition import partition_label_shards, partition_stream_contiguous
+from .text import make_text_corpus, make_user_corpora
+
+__all__ = ["FederatedTask", "make_task", "TASK_NAMES", "task_summary"]
+
+TASK_NAMES = ("mnist", "fmnist", "ptb", "wikitext2", "reddit")
+
+
+@dataclass
+class FederatedTask:
+    """A federated dataset plus its model spec and metric.
+
+    ``client_data`` holds per-client payloads: ``(x, y)`` tuples for
+    image tasks, token streams for text tasks.
+    """
+
+    name: str
+    kind: str  # "image" | "text"
+    model_spec: dict
+    metric: str  # "top1" | "top3"
+    client_data: list
+    test_data: object
+    seq_len: int = 0
+    default_dropout_rate: float = 0.5
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def n_clients(self) -> int:
+        return len(self.client_data)
+
+    @property
+    def topk(self) -> int:
+        return 1 if self.metric == "top1" else 3
+
+    def client_size(self, client_id: int) -> int:
+        """|D_k| — the aggregation weight of Eq. (10)."""
+        if self.kind == "image":
+            return int(self.client_data[client_id][0].shape[0])
+        return int(self.client_data[client_id].shape[0])
+
+    def batcher(self, client_id: int, batch_size: int, rng: np.random.Generator):
+        """Build the local minibatch sampler for one client."""
+        if self.kind == "image":
+            x, y = self.client_data[client_id]
+            return ImageBatcher(x, y, batch_size, rng)
+        return SequenceBatcher(self.client_data[client_id], batch_size, self.seq_len, rng)
+
+    def eval_batches(self, batch_size: int = 256) -> Iterator:
+        """Deterministic iterator over the global test set."""
+        if self.kind == "image":
+            x, y = self.test_data
+            return eval_image_batches(x, y, batch_size)
+        return eval_sequence_batches(self.test_data, self.seq_len, batch_size)
+
+
+# ----------------------------------------------------------------------
+# presets
+# ----------------------------------------------------------------------
+
+_SMALL = {
+    "mnist": dict(
+        side=8, n_train=2400, n_test=800, n_clients=30, shards=4,
+        hidden=(32,), difficulty="easy", p=0.2,
+    ),
+    "fmnist": dict(
+        side=8, n_train=2400, n_test=800, n_clients=30, shards=4,
+        hidden=(48,), difficulty="hard", p=0.5,
+    ),
+    "ptb": dict(
+        vocab=300, train_tokens=40_000, test_tokens=6_000, n_clients=20,
+        embed=48, hidden=48, layers=2, seq_len=12, p=0.5,
+    ),
+    "wikitext2": dict(
+        vocab=450, train_tokens=90_000, test_tokens=9_000, n_clients=20,
+        embed=48, hidden=48, layers=2, seq_len=12, p=0.5,
+    ),
+    "reddit": dict(
+        vocab=300, n_users=20, mean_tokens=2500, test_tokens=6_000,
+        embed=48, hidden=48, layers=2, seq_len=12, p=0.5,
+    ),
+}
+
+_PAPER = {
+    "mnist": dict(
+        side=28, n_train=60_000, n_test=10_000, n_clients=1000, shards=4,
+        hidden=(128,), difficulty="easy", p=0.2,
+    ),
+    "fmnist": dict(
+        side=28, n_train=60_000, n_test=10_000, n_clients=1000, shards=4,
+        hidden=(256,), difficulty="hard", p=0.5,
+    ),
+    "ptb": dict(
+        vocab=10_000, train_tokens=900_000, test_tokens=80_000, n_clients=100,
+        embed=300, hidden=300, layers=2, seq_len=35, p=0.5,
+    ),
+    "wikitext2": dict(
+        vocab=30_000, train_tokens=2_000_000, test_tokens=200_000, n_clients=100,
+        embed=300, hidden=300, layers=2, seq_len=35, p=0.5,
+    ),
+    "reddit": dict(
+        vocab=10_000, n_users=100, mean_tokens=9_000, test_tokens=80_000,
+        embed=300, hidden=300, layers=2, seq_len=35, p=0.5,
+    ),
+}
+
+_SCALES = {"small": _SMALL, "paper": _PAPER}
+
+
+def _make_image_task(name: str, cfg: dict, seed: int) -> FederatedTask:
+    ds = make_image_dataset(
+        name,
+        n_train=cfg["n_train"],
+        n_test=cfg["n_test"],
+        side=cfg["side"],
+        difficulty=cfg["difficulty"],
+        seed=seed,
+    )
+    rng = np.random.default_rng(seed + 17)
+    parts = partition_label_shards(
+        ds.y_train, cfg["n_clients"], shards_per_client=cfg["shards"], rng=rng
+    )
+    client_data = [(ds.x_train[idx], ds.y_train[idx]) for idx in parts]
+    model_spec = {
+        "kind": "mlp",
+        "input_dim": ds.input_dim,
+        "hidden_dims": cfg["hidden"],
+        "n_classes": ds.n_classes,
+    }
+    return FederatedTask(
+        name=name,
+        kind="image",
+        model_spec=model_spec,
+        metric="top1",
+        client_data=client_data,
+        test_data=(ds.x_test, ds.y_test),
+        default_dropout_rate=cfg["p"],
+    )
+
+
+def _make_text_task(name: str, cfg: dict, seed: int) -> FederatedTask:
+    if name == "reddit":
+        corpus = make_user_corpora(
+            name,
+            vocab=cfg["vocab"],
+            n_users=cfg["n_users"],
+            mean_tokens=cfg["mean_tokens"],
+            test_tokens=cfg["test_tokens"],
+            seed=seed,
+        )
+        client_data = list(corpus.user_streams)
+    else:
+        corpus = make_text_corpus(
+            name,
+            vocab=cfg["vocab"],
+            train_tokens=cfg["train_tokens"],
+            test_tokens=cfg["test_tokens"],
+            seed=seed,
+        )
+        rng = np.random.default_rng(seed + 17)
+        parts = partition_stream_contiguous(
+            corpus.train_stream.shape[0], cfg["n_clients"], rng
+        )
+        client_data = [corpus.train_stream[idx] for idx in parts]
+    model_spec = {
+        "kind": "lstm",
+        "vocab_size": corpus.vocab_size,
+        "embed_dim": cfg["embed"],
+        "hidden_size": cfg["hidden"],
+        "num_layers": cfg["layers"],
+    }
+    return FederatedTask(
+        name=name,
+        kind="text",
+        model_spec=model_spec,
+        metric="top3",
+        client_data=client_data,
+        test_data=corpus.test_stream,
+        seq_len=cfg["seq_len"],
+        default_dropout_rate=cfg["p"],
+    )
+
+
+def make_task(name: str, scale: str = "small", seed: int = 0) -> FederatedTask:
+    """Build one of the five federated evaluation tasks.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`TASK_NAMES`.
+    scale:
+        ``"small"`` (default) or ``"paper"``.
+    seed:
+        Controls data generation and partitioning.
+    """
+    if name not in TASK_NAMES:
+        raise ValueError(f"unknown task {name!r}; choose from {TASK_NAMES}")
+    if scale not in _SCALES:
+        raise ValueError(f"unknown scale {scale!r}; choose from {tuple(_SCALES)}")
+    cfg = _SCALES[scale][name]
+    if name in ("mnist", "fmnist"):
+        return _make_image_task(name, cfg, seed)
+    return _make_text_task(name, cfg, seed)
+
+
+def task_summary(task: FederatedTask) -> str:
+    """One-line description used by the benchmark reports."""
+    sizes = [task.client_size(c) for c in range(task.n_clients)]
+    return (
+        f"{task.name}: kind={task.kind} clients={task.n_clients} "
+        f"samples/client min={min(sizes)} max={max(sizes)} metric={task.metric}"
+    )

@@ -1,0 +1,80 @@
+"""Vocabulary utilities for the text pipeline.
+
+The synthetic corpora are integer token streams; :class:`Vocabulary`
+provides the string <-> id mapping a real deployment would use (word
+frequencies, most-common queries, OOV handling) so examples and tests
+can exercise a realistic text path end to end.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Vocabulary"]
+
+
+class Vocabulary:
+    """Bidirectional token <-> id mapping with frequency bookkeeping.
+
+    Parameters
+    ----------
+    tokens:
+        Iterable of token strings used to build the vocabulary, most
+        frequent first after counting.
+    max_size:
+        Optional cap; the least frequent tokens beyond it map to
+        ``unk_token``.
+    """
+
+    def __init__(
+        self,
+        tokens: Iterable[str] | None = None,
+        max_size: int | None = None,
+        unk_token: str = "<unk>",
+    ) -> None:
+        self.unk_token = unk_token
+        self._counts: Counter[str] = Counter(tokens or [])
+        ordered = [unk_token] + [
+            tok
+            for tok, _ in self._counts.most_common()
+            if tok != unk_token
+        ]
+        if max_size is not None:
+            ordered = ordered[:max_size]
+        self._itos: list[str] = ordered
+        self._stoi: dict[str, int] = {tok: i for i, tok in enumerate(ordered)}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def synthetic(cls, vocab_size: int) -> "Vocabulary":
+        """Vocabulary of placeholder words ``w0000..`` for integer corpora."""
+        v = cls()
+        words = [f"w{i:04d}" for i in range(vocab_size - 1)]
+        v._itos = [v.unk_token] + words
+        v._stoi = {tok: i for i, tok in enumerate(v._itos)}
+        return v
+
+    def __len__(self) -> int:
+        return len(self._itos)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._stoi
+
+    def encode(self, tokens: Sequence[str]) -> np.ndarray:
+        """Map token strings to ids; unknown tokens map to unk."""
+        unk = self._stoi[self.unk_token]
+        return np.array([self._stoi.get(t, unk) for t in tokens], dtype=np.int64)
+
+    def decode(self, ids: Sequence[int]) -> list[str]:
+        """Map ids back to token strings."""
+        return [self._itos[int(i)] for i in ids]
+
+    def most_common(self, n: int) -> list[tuple[str, int]]:
+        return self._counts.most_common(n)
+
+    @property
+    def unk_id(self) -> int:
+        return self._stoi[self.unk_token]

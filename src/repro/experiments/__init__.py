@@ -1,0 +1,63 @@
+"""Experiment harness regenerating every table and figure of Section V."""
+
+from .ablations import AblationRow, format_ablations, run_ablations
+from .configs import (
+    FIG2_METHODS,
+    TABLE1_METHODS,
+    TABLE2_METHODS,
+    TTA_TARGETS,
+    ExperimentPreset,
+    active_scale,
+    preset_for,
+)
+from .fig2 import Fig2Result, format_fig2, run_fig2
+from .fig6 import Fig6Panel, format_fig6, run_fig6
+from .fig7 import FIG7_METHODS, Fig7Row, format_fig7, run_fig7
+from .fig8 import FIG8_METHODS, Fig8Row, format_fig8, run_fig8
+from .reporting import format_series, format_table, percent, pm, sparkline
+from .runner import RunResult, clear_cache, dense_upload_bits, resolve_method, run_experiment
+from .table1 import Table1Row, format_table1, run_table1
+from .table2 import Table2Row, format_table2, run_table2
+
+__all__ = [
+    "AblationRow",
+    "format_ablations",
+    "run_ablations",
+    "FIG2_METHODS",
+    "TABLE1_METHODS",
+    "TABLE2_METHODS",
+    "TTA_TARGETS",
+    "ExperimentPreset",
+    "active_scale",
+    "preset_for",
+    "Fig2Result",
+    "format_fig2",
+    "run_fig2",
+    "Fig6Panel",
+    "format_fig6",
+    "run_fig6",
+    "FIG7_METHODS",
+    "Fig7Row",
+    "format_fig7",
+    "run_fig7",
+    "FIG8_METHODS",
+    "Fig8Row",
+    "format_fig8",
+    "run_fig8",
+    "format_series",
+    "format_table",
+    "percent",
+    "pm",
+    "sparkline",
+    "RunResult",
+    "clear_cache",
+    "dense_upload_bits",
+    "resolve_method",
+    "run_experiment",
+    "Table1Row",
+    "format_table1",
+    "run_table1",
+    "Table2Row",
+    "format_table2",
+    "run_table2",
+]

@@ -1,0 +1,76 @@
+"""Ablations of FedBIAD's design choices (DESIGN.md §3, last row).
+
+Not in the paper's evaluation, but each knob corresponds to a design
+decision the paper makes implicitly; the ablation bench quantifies it:
+
+* ``aggregation`` — per-row normalization (our default) vs the literal
+  Eq. (10) divisor;
+* ``adaptive`` — the loss-trend rule of Eq. (8) vs unconditional
+  pattern resampling every tau iterations;
+* ``use_stage2`` — the score-driven stage two of Section IV-D;
+* ``bayesian_init`` — sampling from N(U, s2 I) vs copying U;
+* ``rescale`` — inverted-dropout rescaling of kept rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .reporting import format_table
+from .runner import run_experiment
+
+__all__ = ["AblationRow", "run_ablations", "format_ablations"]
+
+
+@dataclass
+class AblationRow:
+    name: str
+    accuracy: float
+    upload_bytes: float
+
+
+#: (label, config_overrides, method_kwargs)
+ABLATIONS = (
+    ("fedbiad (full)", {}, {}),
+    ("aggregation=paper-literal", {"aggregation": "paper-literal"}, {}),
+    ("no-adaptive (resample always)", {}, {"adaptive": False}),
+    ("no-stage2", {}, {"use_stage2": False}),
+    ("no-bayesian-init", {}, {"bayesian_init": False}),
+    ("no-rescale", {}, {"rescale": False}),
+)
+
+
+def run_ablations(
+    dataset: str = "fmnist",
+    scale: str | None = None,
+    seed: int = 0,
+) -> list[AblationRow]:
+    rows = []
+    for label, overrides, method_kwargs in ABLATIONS:
+        result = run_experiment(
+            dataset,
+            "fedbiad",
+            scale=scale,
+            seed=seed,
+            config_overrides=overrides,
+            method_kwargs=method_kwargs,
+        )
+        rows.append(
+            AblationRow(
+                name=label,
+                accuracy=result.best_accuracy,
+                upload_bytes=result.upload_bits / 8.0,
+            )
+        )
+    return rows
+
+
+def format_ablations(rows: list[AblationRow], dataset: str = "fmnist") -> str:
+    table_rows = [
+        [r.name, f"{100 * r.accuracy:.2f}", f"{r.upload_bytes / 1024:.1f}KB"] for r in rows
+    ]
+    return format_table(
+        ["Variant", "Acc (%)", "Upload"],
+        table_rows,
+        title=f"Ablations of FedBIAD design choices ({dataset})",
+    )

@@ -1,0 +1,115 @@
+"""Command-line interface for regenerating the paper's tables and figures.
+
+Usage::
+
+    python -m repro.experiments.cli table1 --datasets mnist,fmnist
+    python -m repro.experiments.cli table2
+    python -m repro.experiments.cli fig2
+    python -m repro.experiments.cli fig6 --datasets mnist
+    python -m repro.experiments.cli fig7
+    python -m repro.experiments.cli fig8
+    python -m repro.experiments.cli ablations --datasets fmnist
+    python -m repro.experiments.cli run mnist fedbiad --rounds 20
+
+The ``run`` subcommand executes a single (task, method) simulation and
+prints its summary — handy for interactive exploration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..data.registry import TASK_NAMES
+from .ablations import format_ablations, run_ablations
+from .fig2 import format_fig2, run_fig2
+from .fig6 import format_fig6, run_fig6
+from .fig7 import format_fig7, run_fig7
+from .fig8 import format_fig8, run_fig8
+from .runner import run_experiment
+from .table1 import format_table1, run_table1
+from .table2 import format_table2, run_table2
+
+__all__ = ["main", "build_parser"]
+
+
+def _dataset_list(raw: str | None, default: tuple[str, ...]) -> tuple[str, ...]:
+    if not raw:
+        return default
+    chosen = tuple(d.strip() for d in raw.split(",") if d.strip())
+    unknown = set(chosen) - set(TASK_NAMES)
+    if unknown:
+        raise SystemExit(f"unknown datasets: {sorted(unknown)}; choose from {TASK_NAMES}")
+    return chosen
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.cli",
+        description="Regenerate FedBIAD paper tables and figures",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name in ("table1", "table2", "fig6", "fig7"):
+        p = sub.add_parser(name)
+        p.add_argument("--datasets", default=None, help="comma-separated subset")
+        p.add_argument("--scale", default=None, choices=("small", "paper"))
+    for name in ("fig2", "fig8"):
+        p = sub.add_parser(name)
+        p.add_argument("--scale", default=None, choices=("small", "paper"))
+    p = sub.add_parser("ablations")
+    p.add_argument("--datasets", default="fmnist")
+    p.add_argument("--scale", default=None, choices=("small", "paper"))
+
+    p = sub.add_parser("run", help="run one (task, method) simulation")
+    p.add_argument("task", choices=TASK_NAMES)
+    p.add_argument("method", help="e.g. fedavg, fedbiad, fedbiad+dgc")
+    p.add_argument("--rounds", type=int, default=None)
+    p.add_argument("--dropout-rate", type=float, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--scale", default=None, choices=("small", "paper"))
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "table1":
+        rows = run_table1(datasets=_dataset_list(args.datasets, TASK_NAMES), scale=args.scale)
+        print(format_table1(rows))
+    elif args.command == "table2":
+        rows = run_table2(datasets=_dataset_list(args.datasets, TASK_NAMES), scale=args.scale)
+        print(format_table2(rows))
+    elif args.command == "fig2":
+        print(format_fig2(run_fig2(scale=args.scale)))
+    elif args.command == "fig6":
+        datasets = _dataset_list(args.datasets, ("mnist", "wikitext2"))
+        print(format_fig6(run_fig6(datasets=datasets, scale=args.scale)))
+    elif args.command == "fig7":
+        datasets = _dataset_list(args.datasets, ("mnist", "fmnist", "wikitext2", "reddit"))
+        print(format_fig7(run_fig7(datasets=datasets, scale=args.scale)))
+    elif args.command == "fig8":
+        print(format_fig8(run_fig8(scale=args.scale)))
+    elif args.command == "ablations":
+        dataset = _dataset_list(args.datasets, ("fmnist",))[0]
+        print(format_ablations(run_ablations(dataset=dataset, scale=args.scale), dataset))
+    elif args.command == "run":
+        overrides = {}
+        if args.rounds is not None:
+            overrides["rounds"] = args.rounds
+        if args.dropout_rate is not None:
+            overrides["dropout_rate"] = args.dropout_rate
+        result = run_experiment(
+            args.task, args.method, scale=args.scale, seed=args.seed,
+            config_overrides=overrides or None,
+        )
+        print(
+            f"{args.method} on {args.task}: best acc {result.best_accuracy:.4f}, "
+            f"upload {result.upload_bits / 8 / 1024:.1f}KB/round "
+            f"(save {result.save_ratio:.2f}x), LTTR {result.lttr * 1e3:.1f}ms"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""Fig. 2 (motivation): PTB test loss/accuracy for five methods.
+
+The paper's point: FedDrop, AFD and Fjord fall *below* FedAvg on the
+LSTM next-word task, while FedBIAD does not suffer the same recurrent-
+dropout penalty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .configs import FIG2_METHODS
+from .reporting import format_series
+from .runner import RunResult, run_experiment
+
+__all__ = ["Fig2Result", "run_fig2", "format_fig2"]
+
+
+@dataclass
+class Fig2Result:
+    methods: tuple[str, ...]
+    rounds: np.ndarray
+    test_loss: dict[str, np.ndarray]
+    test_accuracy: dict[str, np.ndarray]
+
+
+def run_fig2(
+    methods: tuple[str, ...] = FIG2_METHODS,
+    scale: str | None = None,
+    seed: int = 0,
+) -> Fig2Result:
+    results: dict[str, RunResult] = {
+        m: run_experiment("ptb", m, scale=scale, seed=seed) for m in methods
+    }
+    any_history = next(iter(results.values())).history
+    rounds = any_history.series("round_index").astype(int)
+    return Fig2Result(
+        methods=tuple(methods),
+        rounds=rounds,
+        test_loss={m: r.history.series("test_loss") for m, r in results.items()},
+        test_accuracy={m: r.history.series("test_accuracy") for m, r in results.items()},
+    )
+
+
+def format_fig2(result: Fig2Result) -> str:
+    lines = ["Fig. 2: PTB next-word prediction (test loss / top-3 accuracy)"]
+    lines.append("-- test loss --")
+    for m in result.methods:
+        lines.append(format_series(m, result.rounds, result.test_loss[m]))
+    lines.append("-- test accuracy --")
+    for m in result.methods:
+        lines.append(format_series(m, result.rounds, result.test_accuracy[m]))
+    return "\n".join(lines)

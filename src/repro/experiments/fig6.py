@@ -1,0 +1,69 @@
+"""Fig. 6: training-loss and test-accuracy curves vs rounds.
+
+Panel (a) is the MNIST-like task (non-IID images), panel (b) the
+WikiText-2-like task; all seven Table-I methods are drawn.  The paper
+smooths panel (b) with a moving average — :func:`format_fig6` does the
+same.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .configs import TABLE1_METHODS
+from .reporting import format_series
+from .runner import run_experiment
+
+__all__ = ["Fig6Panel", "run_fig6", "format_fig6"]
+
+
+@dataclass
+class Fig6Panel:
+    dataset: str
+    methods: tuple[str, ...]
+    rounds: np.ndarray
+    train_loss: dict[str, np.ndarray]
+    test_accuracy: dict[str, np.ndarray]
+
+
+def run_fig6(
+    datasets: tuple[str, ...] = ("mnist", "wikitext2"),
+    methods: tuple[str, ...] = TABLE1_METHODS,
+    scale: str | None = None,
+    seed: int = 0,
+) -> list[Fig6Panel]:
+    panels = []
+    for dataset in datasets:
+        results = {m: run_experiment(dataset, m, scale=scale, seed=seed) for m in methods}
+        rounds = next(iter(results.values())).history.series("round_index").astype(int)
+        panels.append(
+            Fig6Panel(
+                dataset=dataset,
+                methods=tuple(methods),
+                rounds=rounds,
+                train_loss={m: r.history.series("train_loss") for m, r in results.items()},
+                test_accuracy={
+                    m: r.history.series("test_accuracy") for m, r in results.items()
+                },
+            )
+        )
+    return panels
+
+
+def format_fig6(panels: list[Fig6Panel], smooth_window: int = 3) -> str:
+    lines = ["Fig. 6: training loss and test accuracy versus rounds"]
+    for panel in panels:
+        lines.append(f"== {panel.dataset} ==")
+        lines.append("-- train loss (smoothed) --")
+        for m in panel.methods:
+            loss = panel.train_loss[m]
+            if smooth_window > 1 and loss.size >= smooth_window:
+                kernel = np.ones(smooth_window) / smooth_window
+                loss = np.convolve(loss, kernel, mode="valid")
+            lines.append(format_series(m, panel.rounds[: loss.size], loss))
+        lines.append("-- test accuracy --")
+        for m in panel.methods:
+            lines.append(format_series(m, panel.rounds, panel.test_accuracy[m]))
+    return "\n".join(lines)

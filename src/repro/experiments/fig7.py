@@ -1,0 +1,77 @@
+"""Fig. 7: LTTR (local compute per round) and Time-To-Accuracy.
+
+LTTR is the measured wall-clock of one client's local update in our
+simulator (the paper measured a MacBook Pro; we measure the simulating
+host — absolute values differ, relative ordering is the target: FedBIAD
+slightly above the other dropout methods because of its pattern/score
+bookkeeping, yet lowest TTA thanks to fewer bits and fewer rounds to
+target).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..comm.network import TMOBILE_5G, NetworkModel
+from .configs import TTA_TARGETS, active_scale
+from .reporting import format_table
+from .runner import run_experiment
+
+__all__ = ["Fig7Row", "run_fig7", "format_fig7"]
+
+#: the five methods drawn in Fig. 7's bars
+FIG7_METHODS = ("feddrop", "afd", "fjord", "fedmp", "fedbiad")
+
+
+@dataclass
+class Fig7Row:
+    dataset: str
+    method: str
+    lttr_seconds: float
+    tta_seconds: float | None
+    target_accuracy: float
+
+
+def run_fig7(
+    datasets: tuple[str, ...] = ("mnist", "fmnist", "wikitext2", "reddit"),
+    methods: tuple[str, ...] = FIG7_METHODS,
+    scale: str | None = None,
+    seed: int = 0,
+    network: NetworkModel = TMOBILE_5G,
+) -> list[Fig7Row]:
+    scale_name = scale or active_scale()
+    rows = []
+    for dataset in datasets:
+        target = TTA_TARGETS[scale_name][dataset]
+        for method in methods:
+            result = run_experiment(dataset, method, scale=scale, seed=seed)
+            rows.append(
+                Fig7Row(
+                    dataset=dataset,
+                    method=method,
+                    lttr_seconds=result.lttr,
+                    tta_seconds=result.tta(target, network),
+                    target_accuracy=target,
+                )
+            )
+    return rows
+
+
+def format_fig7(rows: list[Fig7Row]) -> str:
+    table_rows = []
+    for r in rows:
+        tta = "not reached" if r.tta_seconds is None else f"{r.tta_seconds:.2f}s"
+        table_rows.append(
+            [
+                r.dataset,
+                r.method,
+                f"{r.lttr_seconds * 1e3:.1f}ms",
+                tta,
+                f"{100 * r.target_accuracy:.0f}%",
+            ]
+        )
+    return format_table(
+        ["Dataset", "Method", "LTTR", "TTA", "Target"],
+        table_rows,
+        title="Fig. 7: local training time per round and time-to-accuracy",
+    )

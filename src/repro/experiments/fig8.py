@@ -1,0 +1,72 @@
+"""Fig. 8: effect of the dropout rate on the Reddit-like task.
+
+Panel (a): accuracy of FedAvg / FedDrop / AFD / FedBIAD at dropout
+rates 0.1-0.7 (FedAvg is flat — it ignores ``p``).  Panel (b): TTA at
+rates 0.3-0.6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..comm.network import TMOBILE_5G, NetworkModel
+from .configs import TTA_TARGETS, active_scale
+from .reporting import format_table
+from .runner import run_experiment
+
+__all__ = ["Fig8Row", "run_fig8", "format_fig8"]
+
+FIG8_METHODS = ("fedavg", "feddrop", "afd", "fedbiad")
+FIG8A_RATES = (0.1, 0.3, 0.5, 0.7)
+FIG8B_RATES = (0.3, 0.4, 0.5, 0.6)
+
+
+@dataclass
+class Fig8Row:
+    dropout_rate: float
+    method: str
+    accuracy: float
+    tta_seconds: float | None
+
+
+def run_fig8(
+    dataset: str = "reddit",
+    methods: tuple[str, ...] = FIG8_METHODS,
+    accuracy_rates: tuple[float, ...] = FIG8A_RATES,
+    tta_rates: tuple[float, ...] = FIG8B_RATES,
+    scale: str | None = None,
+    seed: int = 0,
+    network: NetworkModel = TMOBILE_5G,
+) -> list[Fig8Row]:
+    scale_name = scale or active_scale()
+    target = TTA_TARGETS[scale_name][dataset]
+    rows = []
+    for rate in sorted(set(accuracy_rates) | set(tta_rates)):
+        for method in methods:
+            overrides = {} if method == "fedavg" else {"dropout_rate": rate}
+            result = run_experiment(
+                dataset, method, scale=scale, seed=seed, config_overrides=overrides
+            )
+            rows.append(
+                Fig8Row(
+                    dropout_rate=rate,
+                    method=method,
+                    accuracy=result.best_accuracy,
+                    tta_seconds=result.tta(target, network) if rate in tta_rates else None,
+                )
+            )
+    return rows
+
+
+def format_fig8(rows: list[Fig8Row]) -> str:
+    table_rows = []
+    for r in rows:
+        tta = "-" if r.tta_seconds is None else f"{r.tta_seconds:.2f}s"
+        table_rows.append(
+            [f"{r.dropout_rate:.1f}", r.method, f"{100 * r.accuracy:.2f}", tta]
+        )
+    return format_table(
+        ["Dropout rate", "Method", "Acc (%)", "TTA"],
+        table_rows,
+        title="Fig. 8: accuracy and TTA versus dropout rate (Reddit-like)",
+    )

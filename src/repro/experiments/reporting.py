@@ -1,0 +1,78 @@
+"""Plain-text rendering of tables and figure series.
+
+The benchmark harness prints the same rows the paper's tables report and
+renders figure curves as aligned number series plus unicode sparklines,
+so a terminal diff against the paper's trends is possible without
+matplotlib.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["format_table", "sparkline", "format_series", "percent", "pm"]
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def format_table(headers: list[str], rows: list[list[str]], title: str | None = None) -> str:
+    """Render an aligned ASCII table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in rows:
+        lines.append(" | ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def sparkline(values, width: int = 40) -> str:
+    """Compress a series into a unicode sparkline of ``width`` chars."""
+    values = np.asarray([v for v in values if np.isfinite(v)], dtype=np.float64)
+    if values.size == 0:
+        return ""
+    if values.size > width:
+        # average-pool to the target width
+        edges = np.linspace(0, values.size, width + 1).astype(int)
+        values = np.array([values[a:b].mean() for a, b in zip(edges[:-1], edges[1:]) if b > a])
+    lo, hi = float(values.min()), float(values.max())
+    if hi <= lo:
+        return _SPARK_CHARS[0] * values.size
+    scaled = (values - lo) / (hi - lo) * (len(_SPARK_CHARS) - 1)
+    return "".join(_SPARK_CHARS[int(round(s))] for s in scaled)
+
+
+def format_series(
+    label: str,
+    rounds,
+    values,
+    fmt: str = "{:.3f}",
+    max_points: int = 8,
+) -> str:
+    """One figure curve as 'label: spark  r1=v1 ... rN=vN'."""
+    rounds = list(rounds)
+    values = list(values)
+    pairs = [(r, v) for r, v in zip(rounds, values) if np.isfinite(v)]
+    if len(pairs) > max_points:
+        idx = np.linspace(0, len(pairs) - 1, max_points).astype(int)
+        pairs = [pairs[i] for i in idx]
+    points = " ".join(f"r{r}={fmt.format(v)}" for r, v in pairs)
+    return f"{label:>14s} {sparkline(values)}  {points}"
+
+
+def percent(value: float, decimals: int = 2) -> str:
+    """Format a [0, 1] accuracy as the paper's percentage convention."""
+    return f"{100.0 * value:.{decimals}f}"
+
+
+def pm(mean: float, std: float, decimals: int = 2) -> str:
+    """'mean±std' in percent, as in Tables I/II."""
+    return f"{100.0 * mean:.{decimals}f}±{100.0 * std:.{decimals}f}"

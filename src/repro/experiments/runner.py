@@ -1,0 +1,124 @@
+"""Experiment runner with in-process caching.
+
+Several tables and figures reuse the same (task, method, config) runs —
+Table I, Fig. 6 and Fig. 7 all consume the FedAvg/MNIST history, for
+example.  :func:`run_experiment` memoizes by a structural key so the
+benchmark harness never repeats a simulation within one process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..baselines.registry import METHOD_NAMES, make_method
+from ..comm.network import TMOBILE_5G
+from ..comm.timing import lttr_seconds, time_to_accuracy
+from ..compression.registry import COMPRESSOR_NAMES, make_sketched
+from ..data.registry import make_task
+from ..fl.client import FederatedMethod
+from ..fl.config import FLConfig
+from ..fl.metrics import History
+from ..fl.parameters import ParamSet
+from ..fl.simulation import FederatedSimulation
+from ..fl.sizing import dense_bits
+from ..nn.models import build_model
+from .configs import ExperimentPreset, preset_for
+
+__all__ = ["RunResult", "resolve_method", "run_experiment", "clear_cache", "dense_upload_bits"]
+
+_CACHE: dict[tuple, "RunResult"] = {}
+_TASK_CACHE: dict[tuple, object] = {}
+
+
+@dataclass
+class RunResult:
+    """One simulation run plus its derived Table/Figure quantities."""
+
+    task_name: str
+    method_spec: str
+    history: History
+    final_accuracy: float
+    best_accuracy: float
+    upload_bits: float  # mean per-client per-round
+    dense_bits: int
+    lttr: float
+
+    @property
+    def save_ratio(self) -> float:
+        """Table I's 'Save Ratio': dense upload / method upload."""
+        return self.dense_bits / self.upload_bits
+
+    def tta(self, target: float, network=TMOBILE_5G) -> float | None:
+        return time_to_accuracy(self.history, target, network)
+
+
+def resolve_method(spec: str, preset: ExperimentPreset | None = None, **kwargs) -> FederatedMethod:
+    """Build a method from a registry spec.
+
+    Plain names ("fedavg", "fedbiad", ...) come from the baseline
+    registry; compressor names and "base+compressor" specs come from the
+    compression registry with the preset's sparsifier keep-fraction.
+    """
+    if spec in METHOD_NAMES:
+        return make_method(spec, **kwargs)
+    comp_kwargs = {}
+    comp_name = spec.split("+", 1)[-1]
+    if preset is not None and comp_name in ("dgc", "stc"):
+        comp_kwargs["keep_fraction"] = preset.sparsifier_keep
+    return make_sketched(spec, compressor_kwargs=comp_kwargs, **kwargs)
+
+
+def cached_task(task_name: str, scale: str, seed: int):
+    key = (task_name, scale, seed)
+    if key not in _TASK_CACHE:
+        _TASK_CACHE[key] = make_task(task_name, scale, seed)
+    return _TASK_CACHE[key]
+
+
+def dense_upload_bits(task) -> int:
+    """Upload size of the dense (FedAvg) model for a task."""
+    model = build_model(task.model_spec, np.random.default_rng(0))
+    return dense_bits(ParamSet.from_module(model))
+
+
+def run_experiment(
+    task_name: str,
+    method_spec: str,
+    scale: str | None = None,
+    seed: int = 0,
+    config_overrides: dict | None = None,
+    method_kwargs: dict | None = None,
+    use_cache: bool = True,
+) -> RunResult:
+    """Run (or fetch from cache) one federated simulation."""
+    preset = preset_for(task_name, scale)
+    fl: FLConfig = preset.fl.with_overrides(seed=seed, **(config_overrides or {}))
+    key = (task_name, preset.scale, method_spec, seed, tuple(sorted((config_overrides or {}).items())),
+           tuple(sorted((method_kwargs or {}).items())))
+    if use_cache and key in _CACHE:
+        return _CACHE[key]
+
+    task = cached_task(task_name, preset.scale, preset.data_seed)
+    method = resolve_method(method_spec, preset, **(method_kwargs or {}))
+    history = FederatedSimulation(task, method, fl).run()
+    result = RunResult(
+        task_name=task_name,
+        method_spec=method_spec,
+        history=history,
+        final_accuracy=history.final_accuracy,
+        best_accuracy=history.best_accuracy,
+        upload_bits=history.mean_upload_bits(),
+        dense_bits=dense_upload_bits(task),
+        lttr=lttr_seconds(history),
+    )
+    if use_cache:
+        _CACHE[key] = result
+    return result
+
+
+def clear_cache() -> None:
+    """Drop all memoized runs and tasks (used between test sessions)."""
+    _CACHE.clear()
+    _TASK_CACHE.clear()

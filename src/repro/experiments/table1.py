@@ -1,0 +1,78 @@
+"""Table I: accuracy / upload size / save ratio, 7 methods x 5 datasets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.registry import TASK_NAMES
+from ..fl.sizing import format_bytes
+from .configs import TABLE1_METHODS
+from .reporting import format_table, pm
+from .runner import run_experiment
+
+__all__ = ["Table1Row", "run_table1", "format_table1"]
+
+
+@dataclass
+class Table1Row:
+    dataset: str
+    method: str
+    accuracy_mean: float
+    accuracy_std: float
+    upload_bytes: float
+    save_ratio: float
+
+
+def run_table1(
+    datasets: tuple[str, ...] = TASK_NAMES,
+    methods: tuple[str, ...] = TABLE1_METHODS,
+    scale: str | None = None,
+    seeds: tuple[int, ...] = (0,),
+) -> list[Table1Row]:
+    """Regenerate Table I's rows.
+
+    Accuracy is the mean (± std over ``seeds``) of each run's best
+    evaluated test accuracy; upload size is the mean per-client,
+    per-round payload; save ratio is relative to FedAvg's dense upload.
+    """
+    rows = []
+    for dataset in datasets:
+        for method in methods:
+            results = [
+                run_experiment(dataset, method, scale=scale, seed=seed) for seed in seeds
+            ]
+            accs = np.array([r.best_accuracy for r in results])
+            upload_bits = float(np.mean([r.upload_bits for r in results]))
+            dense = results[0].dense_bits
+            rows.append(
+                Table1Row(
+                    dataset=dataset,
+                    method=method,
+                    accuracy_mean=float(accs.mean()),
+                    accuracy_std=float(accs.std()),
+                    upload_bytes=upload_bits / 8.0,
+                    save_ratio=dense / upload_bits,
+                )
+            )
+    return rows
+
+
+def format_table1(rows: list[Table1Row]) -> str:
+    """Render rows in the paper's Table I layout."""
+    table_rows = [
+        [
+            r.dataset,
+            r.method,
+            pm(r.accuracy_mean, r.accuracy_std),
+            format_bytes(r.upload_bytes),
+            f"{r.save_ratio:.2f}x",
+        ]
+        for r in rows
+    ]
+    return format_table(
+        ["Dataset", "Method", "Acc (%)", "Upload Size", "Save Ratio"],
+        table_rows,
+        title="Table I: test accuracy and per-round upload size",
+    )

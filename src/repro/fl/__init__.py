@@ -1,0 +1,58 @@
+"""Federated-learning simulation substrate."""
+
+from .aggregation import AGGREGATION_MODES, ClientPayload, aggregate
+from .checkpoints import load_history, load_params, save_history, save_params
+from .client import ClientContext, ClientUpdate, FederatedMethod, run_local_sgd
+from .config import FLConfig
+from .metrics import History, RoundRecord, evaluate, topk_accuracy
+from .parameters import ParamSet
+from .rows import RowBlock, RowSpace
+from .simulation import FederatedSimulation, run_simulation
+from .sizing import (
+    FLOAT_BITS,
+    POSITION_BITS,
+    bits_to_bytes,
+    dense_bits,
+    element_masked_bits,
+    format_bytes,
+    masked_bits,
+    quantized_bits,
+    sign_bits,
+    sparse_bits,
+    ternary_sparse_bits,
+)
+
+__all__ = [
+    "AGGREGATION_MODES",
+    "ClientPayload",
+    "aggregate",
+    "load_history",
+    "load_params",
+    "save_history",
+    "save_params",
+    "ClientContext",
+    "ClientUpdate",
+    "FederatedMethod",
+    "run_local_sgd",
+    "FLConfig",
+    "History",
+    "RoundRecord",
+    "evaluate",
+    "topk_accuracy",
+    "ParamSet",
+    "RowBlock",
+    "RowSpace",
+    "FederatedSimulation",
+    "run_simulation",
+    "FLOAT_BITS",
+    "POSITION_BITS",
+    "bits_to_bytes",
+    "dense_bits",
+    "element_masked_bits",
+    "format_bytes",
+    "masked_bits",
+    "quantized_bits",
+    "sign_bits",
+    "sparse_bits",
+    "ternary_sparse_bits",
+]

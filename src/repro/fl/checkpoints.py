@@ -1,0 +1,67 @@
+"""Persistence for global models and run histories.
+
+A production FL deployment checkpoints the global model every few rounds
+and archives per-round metrics; this module provides both as plain
+``.npz``/``.json`` files with no extra dependencies.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from .metrics import History, RoundRecord
+from .parameters import ParamSet
+
+__all__ = ["save_params", "load_params", "save_history", "load_history"]
+
+
+def save_params(params: ParamSet, path: str | Path) -> None:
+    """Write a parameter set to an ``.npz`` archive."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **{name: value for name, value in params.items()})
+
+
+def load_params(path: str | Path) -> ParamSet:
+    """Read a parameter set written by :func:`save_params`."""
+    with np.load(Path(path)) as archive:
+        return ParamSet({name: archive[name].copy() for name in archive.files})
+
+
+def save_history(history: History, path: str | Path) -> None:
+    """Write a run history to JSON (NaN-safe)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "method": history.method,
+        "task": history.task,
+        "records": [asdict(r) for r in history.records],
+    }
+
+    def default(o):
+        if isinstance(o, (np.integer,)):
+            return int(o)
+        if isinstance(o, (np.floating,)):
+            return float(o)
+        raise TypeError(f"not JSON-serializable: {type(o)}")
+
+    # JSON has no NaN; encode as null and decode back
+    text = json.dumps(payload, default=default)
+    text = text.replace("NaN", "null")
+    path.write_text(text)
+
+
+def load_history(path: str | Path) -> History:
+    """Read a history written by :func:`save_history`."""
+    payload = json.loads(Path(path).read_text())
+    history = History(method=payload["method"], task=payload["task"])
+    for raw in payload["records"]:
+        for key in ("train_loss", "test_loss", "test_accuracy"):
+            if raw[key] is None:
+                raw[key] = float("nan")
+        history.append(RoundRecord(**raw))
+    return history

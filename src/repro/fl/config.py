@@ -1,0 +1,69 @@
+"""Simulation configuration shared by FedBIAD and every baseline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["FLConfig"]
+
+
+@dataclass(frozen=True)
+class FLConfig:
+    """Hyper-parameters of one federated simulation.
+
+    Field names follow the paper's notation where one exists:
+
+    * ``rounds`` — R global rounds (paper: 60);
+    * ``kappa`` — client selection fraction (paper: 0.1);
+    * ``local_iterations`` — V SGD iterations per round;
+    * ``dropout_rate`` — p;
+    * ``tau`` — loss-window length of Eq. (8) (paper: 3);
+    * ``stage_boundary`` — R_b, the round after which FedBIAD switches
+      to score-driven patterns (paper: 55 of 60); ``None`` resolves to
+      ``round(0.9 * rounds)``;
+    * ``weight_decay`` — realizes the ``KL`` term of Eq. (2) as L2.
+    """
+
+    rounds: int = 20
+    kappa: float = 0.1
+    local_iterations: int = 10
+    batch_size: int = 20
+    lr: float = 0.1
+    momentum: float = 0.0
+    weight_decay: float = 1e-4
+    max_grad_norm: float | None = None
+    dropout_rate: float = 0.5
+    tau: int = 3
+    stage_boundary: int | None = None
+    aggregation: str = "per-row"
+    eval_every: int = 1
+    eval_batch_size: int = 512
+    seed: int = 0
+    posterior_std_override: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.rounds <= 0:
+            raise ValueError("rounds must be positive")
+        if not 0.0 < self.kappa <= 1.0:
+            raise ValueError("kappa must be in (0, 1]")
+        if not 0.0 <= self.dropout_rate < 1.0:
+            raise ValueError("dropout_rate must be in [0, 1)")
+        if self.tau < 1:
+            raise ValueError("tau must be >= 1")
+        if self.local_iterations < 1:
+            raise ValueError("local_iterations must be >= 1")
+
+    @property
+    def resolved_stage_boundary(self) -> int:
+        """R_b, defaulting to 90% of the schedule as in the paper (55/60)."""
+        if self.stage_boundary is not None:
+            return self.stage_boundary
+        return max(1, int(round(0.9 * self.rounds)))
+
+    def clients_per_round(self, n_clients: int) -> int:
+        """c = max(floor(kappa * K), 1) — Algorithm 1's selection size."""
+        return max(int(self.kappa * n_clients), 1)
+
+    def with_overrides(self, **kwargs) -> "FLConfig":
+        """Functional update (configs are frozen)."""
+        return replace(self, **kwargs)

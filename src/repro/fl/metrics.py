@@ -1,0 +1,123 @@
+"""Evaluation metrics and per-round history recording.
+
+The paper reports top-1 accuracy for image classification and top-3 for
+next-word prediction ("mobile keyboards generally include three
+candidates"), plus training-loss and test-accuracy curves per round
+(Fig. 6) and per-round upload sizes (Tables I/II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..nn.functional import _log_softmax_data
+
+__all__ = ["topk_accuracy", "evaluate", "RoundRecord", "History"]
+
+
+def topk_accuracy(logits: np.ndarray, targets: np.ndarray, k: int = 1) -> float:
+    """Fraction of positions whose target is within the top-k logits.
+
+    ``logits`` may be ``(n, classes)`` or ``(batch, time, classes)``;
+    ``targets`` matches the leading dimensions.
+    """
+    logits = np.asarray(logits)
+    targets = np.asarray(targets)
+    flat_logits = logits.reshape(-1, logits.shape[-1])
+    flat_targets = targets.reshape(-1)
+    if flat_targets.size == 0:
+        return 0.0
+    if k == 1:
+        hits = flat_logits.argmax(axis=1) == flat_targets
+    else:
+        # argpartition is O(n) per row versus full sort
+        top = np.argpartition(-flat_logits, kth=k - 1, axis=1)[:, :k]
+        hits = (top == flat_targets[:, None]).any(axis=1)
+    return float(hits.mean())
+
+
+def evaluate(model, task, batch_size: int = 256) -> tuple[float, float]:
+    """Global test loss and top-k accuracy of ``model`` on ``task``.
+
+    Loss is the mean cross-entropy over every test position, computed
+    from raw logits with a stable log-softmax (no graph construction).
+    """
+    total_loss = 0.0
+    total_hits = 0.0
+    total_count = 0
+    k = task.topk
+    for x, y in task.eval_batches(batch_size):
+        logits = model.predict_logits(x)
+        log_probs = _log_softmax_data(logits)
+        flat_lp = log_probs.reshape(-1, log_probs.shape[-1])
+        flat_y = np.asarray(y).reshape(-1)
+        total_loss += float(-flat_lp[np.arange(flat_y.size), flat_y].sum())
+        total_hits += topk_accuracy(logits, y, k) * flat_y.size
+        total_count += flat_y.size
+    if total_count == 0:
+        raise ValueError("empty evaluation set")
+    return total_loss / total_count, total_hits / total_count
+
+
+@dataclass
+class RoundRecord:
+    """Everything measured in one global round."""
+
+    round_index: int
+    train_loss: float
+    test_loss: float
+    test_accuracy: float
+    upload_bits_mean: float
+    upload_bits_total: int
+    download_bits_per_client: int
+    n_selected: int
+    lttr_seconds_mean: float
+    aggregation_seconds: float
+
+
+@dataclass
+class History:
+    """Per-round records of one simulation run, with series accessors."""
+
+    method: str
+    task: str
+    records: list[RoundRecord] = field(default_factory=list)
+
+    def append(self, record: RoundRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def series(self, key: str) -> np.ndarray:
+        """Extract one field across rounds as an array."""
+        return np.array([getattr(r, key) for r in self.records])
+
+    @property
+    def final_accuracy(self) -> float:
+        return self.records[-1].test_accuracy
+
+    @property
+    def best_accuracy(self) -> float:
+        """Highest evaluated accuracy (rounds without eval are NaN)."""
+        return float(np.nanmax(self.series("test_accuracy")))
+
+    def mean_upload_bits(self) -> float:
+        """Average per-client upload per round — Table I's 'Upload Size'."""
+        return float(self.series("upload_bits_mean").mean())
+
+    def rounds_to_accuracy(self, target: float) -> int | None:
+        """First round index reaching ``target`` test accuracy, else None."""
+        acc = self.series("test_accuracy")
+        hits = np.flatnonzero(acc >= target)
+        return int(self.records[hits[0]].round_index) if hits.size else None
+
+    def moving_average(self, key: str, window: int = 3) -> np.ndarray:
+        """Smoothed series (the paper smooths Fig. 6b curves)."""
+        values = self.series(key)
+        if window <= 1 or values.size == 0:
+            return values
+        kernel = np.ones(min(window, values.size)) / min(window, values.size)
+        return np.convolve(values, kernel, mode="valid")

@@ -1,0 +1,117 @@
+"""Named parameter sets exchanged between FL clients and the server.
+
+A :class:`ParamSet` is an immutable-keyed, ordered mapping from parameter
+names to NumPy arrays with elementwise algebra.  It is the unit of
+transfer in the simulation: the server broadcasts one, clients return
+(possibly masked or compressed) ones, aggregation combines them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+import numpy as np
+
+__all__ = ["ParamSet"]
+
+
+class ParamSet(Mapping[str, np.ndarray]):
+    """Ordered ``name -> ndarray`` mapping with vector-space operations."""
+
+    __slots__ = ("_arrays",)
+
+    def __init__(self, arrays: Mapping[str, np.ndarray], copy: bool = False) -> None:
+        self._arrays: dict[str, np.ndarray] = {
+            name: (np.array(a, dtype=np.float64, copy=True) if copy else np.asarray(a, dtype=np.float64))
+            for name, a in arrays.items()
+        }
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_module(cls, module) -> "ParamSet":
+        """Snapshot a :class:`repro.nn.Module`'s parameters (copies)."""
+        return cls(module.state_dict())
+
+    def to_module(self, module) -> None:
+        """Load this set into a module in place."""
+        module.load_state_dict(self._arrays)
+
+    def clone(self) -> "ParamSet":
+        return ParamSet(self._arrays, copy=True)
+
+    def zeros_like(self) -> "ParamSet":
+        return ParamSet({k: np.zeros_like(v) for k, v in self._arrays.items()})
+
+    # ------------------------------------------------------------------
+    # mapping protocol
+    # ------------------------------------------------------------------
+    def __getitem__(self, key: str) -> np.ndarray:
+        return self._arrays[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._arrays)
+
+    def __len__(self) -> int:
+        return len(self._arrays)
+
+    def keys(self):
+        return self._arrays.keys()
+
+    # ------------------------------------------------------------------
+    # algebra
+    # ------------------------------------------------------------------
+    def _check_same_keys(self, other: "ParamSet") -> None:
+        if list(self._arrays.keys()) != list(other._arrays.keys()):
+            raise KeyError("ParamSet key mismatch")
+
+    def __add__(self, other: "ParamSet") -> "ParamSet":
+        self._check_same_keys(other)
+        return ParamSet({k: self._arrays[k] + other._arrays[k] for k in self._arrays})
+
+    def __sub__(self, other: "ParamSet") -> "ParamSet":
+        self._check_same_keys(other)
+        return ParamSet({k: self._arrays[k] - other._arrays[k] for k in self._arrays})
+
+    def scale(self, factor: float) -> "ParamSet":
+        return ParamSet({k: v * factor for k, v in self._arrays.items()})
+
+    def __mul__(self, factor: float) -> "ParamSet":
+        return self.scale(float(factor))
+
+    __rmul__ = __mul__
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    @property
+    def num_weights(self) -> int:
+        return sum(int(v.size) for v in self._arrays.values())
+
+    def l2_norm(self) -> float:
+        return float(np.sqrt(sum(float(np.sum(v * v)) for v in self._arrays.values())))
+
+    def allclose(self, other: "ParamSet", rtol: float = 1e-9, atol: float = 1e-12) -> bool:
+        self._check_same_keys(other)
+        return all(
+            np.allclose(self._arrays[k], other._arrays[k], rtol=rtol, atol=atol)
+            for k in self._arrays
+        )
+
+    def flatten(self) -> np.ndarray:
+        """Concatenate all arrays into one vector (order = key order)."""
+        return np.concatenate([v.reshape(-1) for v in self._arrays.values()])
+
+    @classmethod
+    def from_flat(cls, template: "ParamSet", vector: np.ndarray) -> "ParamSet":
+        """Inverse of :meth:`flatten` using ``template`` for shapes."""
+        out = {}
+        offset = 0
+        for name, arr in template._arrays.items():
+            size = arr.size
+            out[name] = vector[offset : offset + size].reshape(arr.shape).copy()
+            offset += size
+        if offset != vector.size:
+            raise ValueError("flat vector size does not match template")
+        return cls(out)

@@ -1,0 +1,118 @@
+"""The federated round loop (server orchestration).
+
+:class:`FederatedSimulation` reproduces the training procedure of
+Algorithm 1's server side: per round it selects ``c = max(floor(kappa *
+K), 1)`` clients, runs their local updates, aggregates, and evaluates
+the new global model on the held-out test set.  It also measures what
+the paper's Fig. 7 needs: per-client local-training wall-clock (LTTR)
+and per-round upload/download bit counts (turned into transmission time
+by :mod:`repro.comm.timing`).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+
+import numpy as np
+
+from ..nn.models import build_model
+from .client import ClientContext, ClientUpdate, FederatedMethod
+from .config import FLConfig
+from .metrics import History, RoundRecord, evaluate
+from .parameters import ParamSet
+
+__all__ = ["FederatedSimulation", "run_simulation"]
+
+
+class FederatedSimulation:
+    """One (task, method, config) federated training run."""
+
+    def __init__(self, task, method: FederatedMethod, config: FLConfig) -> None:
+        self.task = task
+        self.method = method
+        self.config = config
+        self.rng = np.random.default_rng(config.seed)
+        model_rng = np.random.default_rng([config.seed, 0xBEEF])
+        self.model = build_model(task.model_spec, model_rng)
+        method.setup(self.model, task, config, self.rng)
+        self.global_params = ParamSet.from_module(self.model)
+        self.client_states: dict[int, dict] = defaultdict(dict)
+
+    # ------------------------------------------------------------------
+    def _select_clients(self, round_index: int) -> np.ndarray:
+        c = self.config.clients_per_round(self.task.n_clients)
+        return self.rng.choice(self.task.n_clients, size=c, replace=False)
+
+    def _client_rng(self, round_index: int, client_id: int) -> np.random.Generator:
+        return np.random.default_rng([self.config.seed, round_index, client_id])
+
+    def run_round(self, round_index: int) -> RoundRecord:
+        """Execute one global round and return its measurements."""
+        selected = self._select_clients(round_index)
+        updates: list[ClientUpdate] = []
+        lttrs: list[float] = []
+        for client_id in selected:
+            client_id = int(client_id)
+            rng = self._client_rng(round_index, client_id)
+            batcher = self.task.batcher(client_id, self.config.batch_size, rng)
+            ctx = ClientContext(
+                client_id=client_id,
+                round_index=round_index,
+                global_params=self.global_params,
+                model=self.model,
+                batcher=batcher,
+                config=self.config,
+                rng=rng,
+                state=self.client_states[client_id],
+            )
+            start = time.perf_counter()
+            update = self.method.client_update(ctx)
+            lttrs.append(time.perf_counter() - start)
+            updates.append(update)
+
+        agg_start = time.perf_counter()
+        self.global_params = self.method.aggregate(round_index, self.global_params, updates)
+        agg_seconds = time.perf_counter() - agg_start
+
+        weights = np.array([u.payload.weight for u in updates], dtype=np.float64)
+        losses = np.array([u.mean_loss for u in updates], dtype=np.float64)
+        train_loss = float((weights * losses).sum() / weights.sum())
+
+        if round_index % self.config.eval_every == 0 or round_index == self.config.rounds:
+            self.global_params.to_module(self.model)
+            test_loss, test_acc = evaluate(self.model, self.task, self.config.eval_batch_size)
+        else:
+            test_loss, test_acc = float("nan"), float("nan")
+
+        upload_bits = np.array([u.upload_bits for u in updates], dtype=np.float64)
+        return RoundRecord(
+            round_index=round_index,
+            train_loss=train_loss,
+            test_loss=test_loss,
+            test_accuracy=test_acc,
+            upload_bits_mean=float(upload_bits.mean()),
+            upload_bits_total=int(upload_bits.sum()),
+            download_bits_per_client=self.method.download_bits(self.global_params),
+            n_selected=len(updates),
+            lttr_seconds_mean=float(np.mean(lttrs)),
+            aggregation_seconds=agg_seconds,
+        )
+
+    def run(self, progress: bool = False) -> History:
+        """Run all rounds; returns the per-round history."""
+        history = History(method=self.method.name, task=self.task.name)
+        for round_index in range(1, self.config.rounds + 1):
+            record = self.run_round(round_index)
+            history.append(record)
+            if progress:  # pragma: no cover - console convenience
+                print(
+                    f"[{self.method.name}/{self.task.name}] round {round_index:3d} "
+                    f"loss={record.train_loss:.4f} acc={record.test_accuracy:.4f}"
+                )
+        return history
+
+
+def run_simulation(task, method: FederatedMethod, config: FLConfig, progress: bool = False) -> History:
+    """Convenience wrapper: construct and run a simulation."""
+    return FederatedSimulation(task, method, config).run(progress=progress)

@@ -1,0 +1,63 @@
+"""NumPy neural-network substrate (autodiff, layers, models, optimizers).
+
+Public API::
+
+    from repro.nn import Tensor, no_grad, Linear, Embedding, LSTM
+    from repro.nn import MLPClassifier, WordLSTM, SGD, cross_entropy
+"""
+
+from .conv import CNNClassifier, Conv2d, im2col
+from .functional import (
+    concat,
+    cross_entropy,
+    embedding_lookup,
+    log_softmax,
+    relu,
+    sigmoid,
+    softmax,
+    stack,
+    tanh,
+)
+from .gradcheck import check_gradients, numerical_gradient
+from .layers import Embedding, Linear, ReLU, Sequential, Tanh
+from .models import MLPClassifier, WordLSTM, build_model
+from .module import Module, Parameter, RowSpec
+from .optim import SGD, clip_grad_norm
+from .recurrent import LSTM, LSTMCell
+from .tensor import Tensor, as_tensor, is_grad_enabled, no_grad
+
+__all__ = [
+    "CNNClassifier",
+    "Conv2d",
+    "im2col",
+    "Tensor",
+    "as_tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "Module",
+    "Parameter",
+    "RowSpec",
+    "Linear",
+    "Embedding",
+    "Sequential",
+    "ReLU",
+    "Tanh",
+    "LSTM",
+    "LSTMCell",
+    "MLPClassifier",
+    "WordLSTM",
+    "build_model",
+    "SGD",
+    "clip_grad_norm",
+    "cross_entropy",
+    "log_softmax",
+    "softmax",
+    "relu",
+    "sigmoid",
+    "tanh",
+    "stack",
+    "concat",
+    "embedding_lookup",
+    "check_gradients",
+    "numerical_gradient",
+]

@@ -1,0 +1,60 @@
+"""Weight initialization schemes.
+
+All initializers take an explicit ``np.random.Generator`` so that every
+federated simulation in the benchmark harness is reproducible from a
+single seed (clients derive their generators from the experiment seed).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "xavier_uniform",
+    "kaiming_uniform",
+    "normal",
+    "uniform",
+    "zeros",
+    "orthogonal",
+]
+
+
+def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot/Xavier uniform initialization for 2-D weight matrices."""
+    fan_out, fan_in = shape[0], shape[-1]
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def kaiming_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He/Kaiming uniform initialization, suitable for ReLU layers."""
+    fan_in = shape[-1]
+    bound = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def normal(shape: tuple[int, ...], rng: np.random.Generator, std: float = 0.02) -> np.ndarray:
+    """Zero-mean Gaussian initialization."""
+    return rng.normal(0.0, std, size=shape)
+
+
+def uniform(shape: tuple[int, ...], rng: np.random.Generator, bound: float = 0.1) -> np.ndarray:
+    """Symmetric uniform initialization, the classic LSTM-LM choice."""
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def zeros(shape: tuple[int, ...], rng: np.random.Generator | None = None) -> np.ndarray:
+    """All-zero initialization (biases)."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+def orthogonal(shape: tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Orthogonal initialization for square recurrent matrices."""
+    if len(shape) != 2:
+        raise ValueError("orthogonal init requires a 2-D shape")
+    a = rng.normal(0.0, 1.0, size=(max(shape), min(shape)))
+    q, r = np.linalg.qr(a)
+    q *= np.sign(np.diag(r))
+    if shape[0] < shape[1]:
+        q = q.T
+    return gain * q[: shape[0], : shape[1]]

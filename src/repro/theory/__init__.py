@@ -1,0 +1,21 @@
+"""Generalization-error bounds of Theorem 1."""
+
+from .bounds import (
+    ModelStructure,
+    client_data_floor,
+    epsilon_term,
+    generalization_bound,
+    holder_upper_rate,
+    minimax_lower_rate,
+    posterior_variance,
+)
+
+__all__ = [
+    "ModelStructure",
+    "client_data_floor",
+    "epsilon_term",
+    "generalization_bound",
+    "holder_upper_rate",
+    "minimax_lower_rate",
+    "posterior_variance",
+]

@@ -1,0 +1,163 @@
+"""Tests for the six baseline methods and their mask construction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    METHOD_NAMES,
+    make_method,
+    ordered_keep,
+    ordered_model_masks,
+    random_keep,
+)
+from repro.baselines.fedmp import magnitude_masks
+from repro.baselines.masks import kept_entries, lstm_unit_masks, mlp_unit_masks
+from repro.fl.config import FLConfig
+from repro.fl.parameters import ParamSet
+from repro.fl.simulation import run_simulation
+from repro.fl.sizing import dense_bits
+from repro.nn.models import build_model
+
+
+class TestMaskHelpers:
+    def test_ordered_keep_prefix(self):
+        mask = ordered_keep(10, 0.3)
+        np.testing.assert_array_equal(mask, [1, 1, 1, 0, 0, 0, 0, 0, 0, 0])
+
+    def test_ordered_keep_at_least_one(self):
+        assert ordered_keep(10, 0.01).sum() == 1
+
+    def test_random_keep_count(self, rng):
+        assert random_keep(20, 0.5, rng).sum() == 10
+
+    def test_mlp_unit_masks_consistency(self, tiny_mlp, rng):
+        unit = random_keep(5, 0.6, rng)
+        masks = mlp_unit_masks(tiny_mlp, [unit])
+        # rows of hidden layer and columns of output layer follow units
+        np.testing.assert_array_equal(masks["net.layer0.weight"][:, 0], unit)
+        np.testing.assert_array_equal(masks["net.layer2.weight"][0], unit)
+        np.testing.assert_array_equal(masks["net.layer0.bias"], unit)
+
+    def test_mlp_unit_masks_wrong_count(self, tiny_mlp, rng):
+        with pytest.raises(ValueError):
+            mlp_unit_masks(tiny_mlp, [])
+
+    def test_lstm_unit_masks_gate_groups(self, tiny_lstm):
+        unit = np.array([True, True, False, False, True])
+        masks = lstm_unit_masks(tiny_lstm, [unit, np.ones(5, dtype=bool)])
+        wx = masks["lstm.cell0.w_x"]
+        np.testing.assert_array_equal(wx[0:5, 0], unit)
+        np.testing.assert_array_equal(wx[15:20, 0], unit)  # 4th gate
+        # layer 1 columns follow layer 0 units
+        np.testing.assert_array_equal(masks["lstm.cell1.w_x"][0], unit)
+
+    def test_lstm_masks_tied_no_decoder(self, tiny_lstm):
+        masks = lstm_unit_masks(
+            tiny_lstm, [np.ones(5, dtype=bool)] * 2,
+            embedding_row_mask=np.ones(9, dtype=bool),
+        )
+        assert "decoder.weight" not in masks
+
+    def test_magnitude_masks_prune_smallest(self):
+        params = ParamSet({"w": np.array([[0.1, 5.0], [0.2, 4.0]])})
+        masks = magnitude_masks(params, 0.5, {"w"})
+        np.testing.assert_array_equal(masks["w"], [[False, True], [False, True]])
+
+    def test_magnitude_masks_invalid_rate(self):
+        with pytest.raises(ValueError):
+            magnitude_masks(ParamSet({"w": np.zeros((2, 2))}), 1.0, {"w"})
+
+    def test_kept_entries_counts(self):
+        params = ParamSet({"w": np.zeros((4, 4)), "b": np.zeros(4)})
+        masks = {"w": np.eye(4, dtype=bool)}
+        assert kept_entries(masks, params) == 4 + 4  # diag + unmasked bias
+
+    def test_ordered_model_masks_lstm_width(self, tiny_lstm):
+        masks = ordered_model_masks(tiny_lstm, 0.6)
+        # embedding columns shrink (tied model), vocabulary rows do not
+        emb = masks["embedding.weight"]
+        assert emb[:, :3].all() and not emb[:, 3:].any()
+
+
+class TestRegistry:
+    def test_all_methods_constructible(self):
+        for name in METHOD_NAMES:
+            assert make_method(name).name == name
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            make_method("sgd")
+
+    def test_kwargs_forwarded(self):
+        m = make_method("fedbiad", use_stage2=False)
+        assert not m.use_stage2
+
+
+@pytest.mark.parametrize("name", METHOD_NAMES)
+class TestEveryMethodRuns:
+    def test_image_task(self, name, tiny_image_task, fast_config):
+        history = run_simulation(tiny_image_task, make_method(name), fast_config)
+        assert len(history) == fast_config.rounds
+        assert np.isfinite(history.final_accuracy)
+
+    def test_text_task(self, name, tiny_text_task):
+        cfg = FLConfig(
+            rounds=2, kappa=0.5, local_iterations=6, batch_size=4, lr=1.0,
+            max_grad_norm=1.0, dropout_rate=0.5, tau=2, seed=0,
+        )
+        history = run_simulation(tiny_text_task, make_method(name), cfg)
+        assert np.isfinite(history.final_accuracy)
+
+    def test_upload_not_above_dense(self, name, tiny_image_task, fast_config):
+        model = build_model(tiny_image_task.model_spec, np.random.default_rng(0))
+        dense = dense_bits(ParamSet.from_module(model))
+        history = run_simulation(tiny_image_task, make_method(name), fast_config)
+        slack = 64  # fedbiad pattern bits ride on top at p=0
+        assert history.mean_upload_bits() <= dense + slack
+
+
+class TestMethodSpecificBehaviour:
+    def test_fedavg_uploads_dense(self, tiny_image_task, fast_config):
+        model = build_model(tiny_image_task.model_spec, np.random.default_rng(0))
+        dense = dense_bits(ParamSet.from_module(model))
+        history = run_simulation(tiny_image_task, make_method("fedavg"), fast_config)
+        assert history.mean_upload_bits() == dense
+
+    def test_dropout_methods_save_uplink(self, tiny_image_task, fast_config):
+        model = build_model(tiny_image_task.model_spec, np.random.default_rng(0))
+        dense = dense_bits(ParamSet.from_module(model))
+        for name in ("fedbiad", "feddrop", "afd", "fjord", "heterofl", "fedmp"):
+            history = run_simulation(tiny_image_task, make_method(name), fast_config)
+            assert history.mean_upload_bits() < dense, name
+
+    def test_heterofl_width_static_per_client(self, tiny_image_task, fast_config):
+        method = make_method("heterofl")
+        model = build_model(tiny_image_task.model_spec, np.random.default_rng(0))
+        method.setup(model, tiny_image_task, fast_config, np.random.default_rng(0))
+        assert method.client_width(0) == method.client_width(0)
+        widths = {method.client_width(c) for c in range(6)}
+        assert len(widths) >= 2  # heterogeneous capability classes
+
+    def test_fjord_width_menu(self, tiny_image_task, fast_config):
+        method = make_method("fjord")
+        model = build_model(tiny_image_task.model_spec, np.random.default_rng(0))
+        method.setup(model, tiny_image_task, fast_config, np.random.default_rng(0))
+        menu = method.width_menu(0.5)
+        assert menu == [0.5, 0.75, 1.0]
+
+    def test_fjord_custom_widths(self):
+        assert make_method("fjord", widths=[0.25]).width_menu(0.5) == [0.25]
+
+    def test_afd_scores_update_after_round(self, tiny_image_task, fast_config):
+        from repro.fl.simulation import FederatedSimulation
+
+        method = make_method("afd")
+        sim = FederatedSimulation(tiny_image_task, method, fast_config)
+        before = {k: v.copy() for k, v in method.scores.items()}
+        sim.run_round(1)
+        changed = any(
+            not np.allclose(method.scores[k], before[k]) for k in before
+        )
+        assert changed

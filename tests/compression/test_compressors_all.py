@@ -1,0 +1,175 @@
+"""Tests for the sketched compressors and their composition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression import (
+    COMPRESSOR_NAMES,
+    DGC,
+    STC,
+    Compressor,
+    FedPAQ,
+    SignSGD,
+    make_compressor,
+    make_sketched,
+    uniform_quantize,
+)
+from repro.fl.parameters import ParamSet
+from repro.fl.simulation import run_simulation
+
+
+def delta_set(rng, scale=1.0) -> ParamSet:
+    return ParamSet(
+        {"w": scale * rng.normal(size=(6, 5)), "b": scale * rng.normal(size=(6,))}
+    )
+
+
+class TestIdentity:
+    def test_identity_passthrough(self, rng):
+        delta = delta_set(rng)
+        out, bits = Compressor().compress(delta, None, {}, rng)
+        assert out.allclose(delta)
+        assert bits == 32 * delta.num_weights
+
+
+class TestDGC:
+    def test_sparsity(self, rng):
+        delta = delta_set(rng)
+        out, bits = DGC(keep_fraction=0.1).compress(delta, None, {}, rng)
+        nonzero = sum(int(np.count_nonzero(v)) for v in out.values())
+        assert nonzero == 4  # ceil(0.1 * 36)
+        assert bits == 4 * 96
+
+    def test_error_feedback_accumulates(self, rng):
+        state = {}
+        comp = DGC(keep_fraction=0.05, momentum=0.0)
+        total_sent = None
+        delta = delta_set(rng)
+        for _ in range(30):
+            out, _ = comp.compress(delta, None, state, rng)
+            total_sent = out if total_sent is None else total_sent + out
+        # repeated identical deltas: error feedback eventually transmits
+        # every coordinate's accumulated mass
+        ratio = total_sent.flatten() / (30 * delta.flatten())
+        assert np.median(ratio) > 0.4
+
+    def test_respects_allowed_mask(self, rng):
+        delta = delta_set(rng)
+        allowed = {"w": np.zeros((6, 5), dtype=bool), "b": np.ones(6, dtype=bool)}
+        out, _ = DGC(keep_fraction=1.0).compress(delta, allowed, {}, rng)
+        assert np.all(out["w"] == 0.0)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            DGC(keep_fraction=0.0)
+
+
+class TestSignSGD:
+    def test_reconstruction_is_sign_times_scale(self, rng):
+        delta = delta_set(rng)
+        out, bits = SignSGD().compress(delta, None, {}, rng)
+        scale = np.mean(np.abs(delta["w"]))
+        np.testing.assert_allclose(out["w"], np.sign(delta["w"]) * scale)
+        assert bits == delta.num_weights + 2 * 32
+
+    def test_masked_entries_zero(self, rng):
+        delta = delta_set(rng)
+        allowed = {"w": np.zeros((6, 5), dtype=bool)}
+        out, _ = SignSGD().compress(delta, allowed, {}, rng)
+        assert np.all(out["w"] == 0.0)
+        assert not np.all(out["b"] == 0.0)
+
+
+class TestFedPAQ:
+    def test_quantization_error_bounded(self, rng):
+        values = rng.normal(size=1000)
+        recon = uniform_quantize(values, bits=8)
+        step = (values.max() - values.min()) / 255
+        assert np.abs(recon - values).max() <= step + 1e-12
+
+    def test_stochastic_unbiased(self, rng):
+        values = np.full(20000, 0.3)
+        values[0], values[1] = 0.0, 1.0  # pin the range
+        recon = uniform_quantize(values, bits=2, rng=rng)
+        assert recon[2:].mean() == pytest.approx(0.3, abs=0.01)
+
+    def test_constant_tensor(self):
+        out = uniform_quantize(np.full(5, 2.5), bits=8)
+        np.testing.assert_allclose(out, np.full(5, 2.5))
+
+    def test_bits_accounting(self, rng):
+        delta = delta_set(rng)
+        _, bits = FedPAQ(bits=8, stochastic=False).compress(delta, None, {}, rng)
+        assert bits == 8 * delta.num_weights + 2 * 2 * 32
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            FedPAQ(bits=0)
+
+
+class TestSTC:
+    def test_ternary_values(self, rng):
+        delta = delta_set(rng)
+        out, _ = STC(keep_fraction=0.2).compress(delta, None, {}, rng)
+        values = np.concatenate([v.reshape(-1) for v in out.values()])
+        nonzero = values[values != 0.0]
+        assert len(np.unique(np.abs(nonzero))) == 1  # single magnitude mu
+
+    def test_bits(self, rng):
+        delta = delta_set(rng)
+        _, bits = STC(keep_fraction=0.25).compress(delta, None, {}, rng)
+        k = int(np.ceil(0.25 * 36))
+        assert bits == k * 65 + 32
+
+    def test_error_feedback_state(self, rng):
+        state = {}
+        STC(keep_fraction=0.1).compress(delta_set(rng), None, state, rng)
+        assert "stc_residual" in state
+
+
+class TestRegistryAndComposition:
+    def test_all_compressors_constructible(self):
+        for name in COMPRESSOR_NAMES:
+            assert make_compressor(name).name == name
+
+    def test_unknown_compressor(self):
+        with pytest.raises(ValueError):
+            make_compressor("gzip")
+
+    def test_sketched_names(self):
+        assert make_sketched("dgc").name == "dgc"
+        assert make_sketched("fedbiad+dgc").name == "fedbiad+dgc"
+
+    @pytest.mark.parametrize("spec", ["fedpaq", "signsgd", "stc", "dgc", "fedbiad+dgc",
+                                      "afd+dgc", "fjord+dgc"])
+    def test_all_table2_methods_run(self, spec, tiny_image_task, fast_config):
+        method = make_sketched(spec, compressor_kwargs=(
+            {"keep_fraction": 0.1} if spec.endswith(("dgc", "stc")) else {}
+        ))
+        history = run_simulation(tiny_image_task, method, fast_config)
+        assert np.isfinite(history.final_accuracy)
+
+    def test_combined_payload_smaller_than_naive(self, tiny_image_task, fast_config):
+        cfg = fast_config.with_overrides(dropout_rate=0.5)
+        naive = run_simulation(
+            tiny_image_task, make_sketched("dgc", compressor_kwargs={"keep_fraction": 0.1}), cfg
+        )
+        combined = run_simulation(
+            tiny_image_task,
+            make_sketched("fedbiad+dgc", compressor_kwargs={"keep_fraction": 0.1}),
+            cfg,
+        )
+        assert combined.mean_upload_bits() < naive.mean_upload_bits()
+
+    def test_compression_reduces_bits_vs_dense(self, tiny_image_task, fast_config):
+        from repro.fl.sizing import dense_bits
+        from repro.nn.models import build_model
+        from repro.fl.parameters import ParamSet
+
+        model = build_model(tiny_image_task.model_spec, np.random.default_rng(0))
+        dense = dense_bits(ParamSet.from_module(model))
+        for spec in ("fedpaq", "signsgd"):
+            history = run_simulation(tiny_image_task, make_sketched(spec), fast_config)
+            assert history.mean_upload_bits() < dense

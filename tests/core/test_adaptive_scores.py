@@ -1,0 +1,113 @@
+"""Tests for the loss-trend tracker (Eq. 8) and weight scores (Eq. 9)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.adaptive import LossTrendTracker
+from repro.core.scores import WeightScores
+
+
+class TestLossTrendTracker:
+    def test_delta_matches_equation8(self):
+        t = LossTrendTracker(tau=2)
+        for loss in (4.0, 3.0, 2.0, 1.0):
+            t.record(loss)
+        # mean(2,1) - mean(4,3) = 1.5 - 3.5
+        assert t.delta() == pytest.approx(-2.0)
+
+    def test_delta_positive_when_worsening(self):
+        t = LossTrendTracker(tau=2)
+        for loss in (1.0, 1.0, 3.0, 3.0):
+            t.record(loss)
+        assert t.delta() == pytest.approx(2.0)
+
+    def test_judgment_points(self):
+        t = LossTrendTracker(tau=3)
+        points = []
+        for v in range(1, 13):
+            t.record(1.0)
+            if t.is_judgment_point():
+                points.append(v)
+        assert points == [6, 9, 12]
+
+    def test_delta_requires_two_windows(self):
+        t = LossTrendTracker(tau=3)
+        for _ in range(5):
+            t.record(1.0)
+        with pytest.raises(RuntimeError):
+            t.delta()
+
+    def test_window_mean(self):
+        t = LossTrendTracker(tau=2)
+        for loss in (10.0, 2.0, 4.0):
+            t.record(loss)
+        assert t.window_mean() == pytest.approx(3.0)
+
+    def test_window_mean_empty(self):
+        with pytest.raises(RuntimeError):
+            LossTrendTracker(tau=2).window_mean()
+
+    def test_invalid_tau(self):
+        with pytest.raises(ValueError):
+            LossTrendTracker(tau=0)
+
+    def test_losses_property(self):
+        t = LossTrendTracker(tau=2)
+        t.record(1.0)
+        t.record(2.0)
+        assert t.losses == [1.0, 2.0]
+        assert t.iterations == 2
+
+
+class TestWeightScores:
+    def test_improving_increments_held(self):
+        s = WeightScores(4)
+        held = np.array([True, True, False, False])
+        s.update(held, delta=-0.5, next_held=held)
+        np.testing.assert_allclose(s.values, [1.0, 1.0, 0.0, 0.0])
+
+    def test_worsening_increments_only_survivors(self):
+        s = WeightScores(4)
+        held = np.array([True, True, True, False])
+        next_held = np.array([True, False, True, True])
+        s.update(held, delta=0.5, next_held=next_held)
+        # rows held at v AND still held in the resampled pattern
+        np.testing.assert_allclose(s.values, [1.0, 0.0, 1.0, 0.0])
+
+    def test_never_held_never_scored(self):
+        s = WeightScores(3)
+        held = np.array([False, False, True])
+        for _ in range(5):
+            s.update(held, delta=-1.0, next_held=held)
+        assert s.values[0] == 0.0 and s.values[1] == 0.0 and s.values[2] == 5.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 100), n=st.integers(2, 30))
+    def test_scores_monotone_nondecreasing(self, seed, n):
+        rng = np.random.default_rng(seed)
+        s = WeightScores(n)
+        previous = s.snapshot()
+        for _ in range(10):
+            held = rng.random(n) < 0.5
+            nxt = rng.random(n) < 0.5
+            s.update(held, delta=float(rng.normal()), next_held=nxt)
+            assert np.all(s.values >= previous)
+            previous = s.snapshot()
+
+    def test_quantile_threshold(self):
+        s = WeightScores(4)
+        s.values[:] = [0.0, 1.0, 2.0, 3.0]
+        assert s.quantile_threshold(0.5) == pytest.approx(1.5)
+
+    def test_shape_mismatch(self):
+        s = WeightScores(3)
+        with pytest.raises(ValueError):
+            s.update(np.zeros(2, dtype=bool), 0.0, np.zeros(3, dtype=bool))
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            WeightScores(0)

@@ -1,0 +1,104 @@
+"""Tests for the spike-and-slab machinery (Eq. 13 and sampling)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.spike_slab import (
+    ModelStructure,
+    posterior_variance,
+    sample_model_init,
+    structure_from_spec,
+)
+from repro.fl.parameters import ParamSet
+
+
+def structure(**kwargs) -> ModelStructure:
+    defaults = dict(unsparse=1000, layers=2, width=32, input_dim=16)
+    defaults.update(kwargs)
+    return ModelStructure(**defaults)
+
+
+class TestPosteriorVariance:
+    def test_positive(self):
+        assert posterior_variance(structure(), m=100) > 0.0
+
+    def test_decreases_with_data(self):
+        values = [posterior_variance(structure(), m=m) for m in (10, 100, 1000)]
+        assert values == sorted(values, reverse=True)
+
+    def test_increases_with_unsparse(self):
+        lo = posterior_variance(structure(unsparse=100), m=100)
+        hi = posterior_variance(structure(unsparse=10000), m=100)
+        assert hi > lo
+
+    def test_decreases_with_depth(self):
+        shallow = posterior_variance(structure(layers=1), m=100)
+        deep = posterior_variance(structure(layers=4), m=100)
+        assert deep < shallow
+
+    def test_no_underflow_for_wide_deep(self):
+        # (2BD)^(-2L) underflows in naive arithmetic for D=300, L=3
+        value = posterior_variance(
+            structure(unsparse=10**6, layers=3, width=300, input_dim=300), m=10**6
+        )
+        assert value > 0.0 and np.isfinite(value)
+
+    def test_requires_b_at_least_two(self):
+        with pytest.raises(ValueError):
+            posterior_variance(structure(), m=100, weight_bound=1.5)
+
+    def test_requires_positive_m(self):
+        with pytest.raises(ValueError):
+            posterior_variance(structure(), m=0)
+
+    def test_structure_validation(self):
+        with pytest.raises(ValueError):
+            ModelStructure(unsparse=0, layers=1, width=1, input_dim=1)
+
+
+class TestStructureFromSpec:
+    def test_mlp(self):
+        s = structure_from_spec(
+            {"kind": "mlp", "input_dim": 64, "hidden_dims": (32,), "n_classes": 10},
+            unsparse=500,
+        )
+        assert s.layers == 2 and s.width == 32 and s.input_dim == 64
+
+    def test_lstm(self):
+        s = structure_from_spec(
+            {"kind": "lstm", "vocab_size": 100, "embed_dim": 24, "hidden_size": 24,
+             "num_layers": 2},
+            unsparse=500,
+        )
+        assert s.layers == 3 and s.width == 24 and s.input_dim == 24
+
+    def test_cnn(self):
+        s = structure_from_spec(
+            {"kind": "cnn", "side": 8, "n_classes": 10, "channels": (4, 8), "hidden": 16},
+            unsparse=200,
+        )
+        assert s.layers == 4 and s.width == 16 and s.input_dim == 64
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            structure_from_spec({"kind": "transformer"}, unsparse=10)
+
+
+class TestSampleModelInit:
+    def test_zero_std_is_copy(self, rng):
+        params = ParamSet({"w": rng.normal(size=(3, 3))})
+        out = sample_model_init(params, 0.0, rng)
+        assert out.allclose(params)
+        out["w"][0, 0] = 99.0
+        assert params["w"][0, 0] != 99.0
+
+    def test_noise_scale(self, rng):
+        params = ParamSet({"w": np.zeros((200, 200))})
+        out = sample_model_init(params, 0.5, rng)
+        assert np.std(out["w"]) == pytest.approx(0.5, rel=0.05)
+
+    def test_negative_std_rejected(self, rng):
+        with pytest.raises(ValueError):
+            sample_model_init(ParamSet({"w": np.zeros(3)}), -1.0, rng)

@@ -1,0 +1,62 @@
+"""Tests for the synthetic image dataset generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.images import ImageDataset, class_prototypes, make_image_dataset
+
+
+class TestPrototypes:
+    def test_shape_and_norm(self, rng):
+        protos = class_prototypes(10, 8, rng)
+        assert protos.shape == (10, 64)
+        np.testing.assert_allclose(np.linalg.norm(protos, axis=1), np.ones(10))
+
+    def test_distinct_classes(self, rng):
+        protos = class_prototypes(10, 8, rng)
+        gram = protos @ protos.T
+        off_diag = gram - np.diag(np.diag(gram))
+        assert np.abs(off_diag).max() < 0.95
+
+
+class TestMakeImageDataset:
+    def test_shapes(self):
+        ds = make_image_dataset("t", n_train=120, n_test=40, side=6, seed=0)
+        assert ds.x_train.shape == (120, 36)
+        assert ds.x_test.shape == (40, 36)
+        assert ds.y_train.shape == (120,)
+        assert len(ds) == 120
+        assert ds.input_dim == 36
+
+    def test_all_classes_present(self):
+        ds = make_image_dataset("t", n_train=500, n_test=100, seed=1)
+        assert set(np.unique(ds.y_train)) == set(range(10))
+
+    def test_deterministic_by_seed(self):
+        a = make_image_dataset("t", 50, 20, seed=3)
+        b = make_image_dataset("t", 50, 20, seed=3)
+        np.testing.assert_array_equal(a.x_train, b.x_train)
+
+    def test_seeds_differ(self):
+        a = make_image_dataset("t", 50, 20, seed=3)
+        b = make_image_dataset("t", 50, 20, seed=4)
+        assert not np.allclose(a.x_train, b.x_train)
+
+    def test_hard_is_harder_than_easy(self):
+        # nearest-prototype classification accuracy gap
+        def np_acc(ds: ImageDataset) -> float:
+            protos = np.stack(
+                [ds.x_train[ds.y_train == c].mean(axis=0) for c in range(10)]
+            )
+            pred = np.argmax(ds.x_test @ protos.T, axis=1)
+            return float((pred == ds.y_test).mean())
+
+        easy = make_image_dataset("e", 2000, 500, difficulty="easy", seed=0)
+        hard = make_image_dataset("h", 2000, 500, difficulty="hard", seed=0)
+        assert np_acc(easy) > np_acc(hard) + 0.05
+
+    def test_unknown_difficulty(self):
+        with pytest.raises(ValueError):
+            make_image_dataset("t", 10, 10, difficulty="medium")

@@ -1,0 +1,117 @@
+"""Property-based tests for client data partitioning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.partition import (
+    partition_dirichlet,
+    partition_iid,
+    partition_label_shards,
+    partition_stream_contiguous,
+)
+
+
+def assert_disjoint_cover(parts, n_samples):
+    """Every index appears exactly once across all clients."""
+    joined = np.concatenate(parts)
+    assert joined.shape[0] == n_samples
+    assert np.array_equal(np.sort(joined), np.arange(n_samples))
+
+
+class TestIID:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n_samples=st.integers(10, 500),
+        n_clients=st.integers(1, 10),
+        seed=st.integers(0, 100),
+    )
+    def test_disjoint_cover(self, n_samples, n_clients, seed):
+        if n_samples < n_clients:
+            n_samples = n_clients
+        parts = partition_iid(n_samples, n_clients, np.random.default_rng(seed))
+        assert_disjoint_cover(parts, n_samples)
+        assert len(parts) == n_clients
+
+    def test_sizes_balanced(self):
+        parts = partition_iid(103, 10, np.random.default_rng(0))
+        sizes = [len(p) for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            partition_iid(3, 5, np.random.default_rng(0))
+
+    def test_invalid_clients(self):
+        with pytest.raises(ValueError):
+            partition_iid(10, 0, np.random.default_rng(0))
+
+
+class TestLabelShards:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 50), shards=st.integers(1, 4))
+    def test_disjoint_cover(self, seed, shards):
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, 10, size=400)
+        parts = partition_label_shards(labels, 8, shards_per_client=shards, rng=rng)
+        assert_disjoint_cover(parts, 400)
+
+    def test_label_concentration(self):
+        rng = np.random.default_rng(0)
+        labels = np.repeat(np.arange(10), 100)
+        parts = partition_label_shards(labels, 20, shards_per_client=2, rng=rng)
+        # each client's shard should cover few distinct labels
+        distinct = [len(np.unique(labels[p])) for p in parts]
+        assert np.mean(distinct) <= 4
+
+    def test_not_enough_samples_for_shards(self):
+        with pytest.raises(ValueError):
+            partition_label_shards(np.zeros(5, dtype=int), 4, 2, np.random.default_rng(0))
+
+
+class TestDirichlet:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 50), alpha=st.floats(0.05, 10.0))
+    def test_disjoint_cover(self, seed, alpha):
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, 5, size=300)
+        parts = partition_dirichlet(labels, 6, alpha=alpha, rng=rng)
+        assert_disjoint_cover(parts, 300)
+
+    def test_min_per_client(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 5, size=200)
+        parts = partition_dirichlet(labels, 10, alpha=0.05, rng=rng, min_per_client=3)
+        assert all(len(p) >= 3 for p in parts)
+
+    def test_small_alpha_more_skewed(self):
+        rng = np.random.default_rng(0)
+        labels = np.repeat(np.arange(10), 100)
+
+        def skew(alpha):
+            parts = partition_dirichlet(labels, 10, alpha=alpha, rng=np.random.default_rng(1))
+            fractions = []
+            for p in parts:
+                counts = np.bincount(labels[p], minlength=10)
+                fractions.append(counts.max() / max(counts.sum(), 1))
+            return np.mean(fractions)
+
+        assert skew(0.05) > skew(100.0)
+
+
+class TestStreamContiguous:
+    @settings(max_examples=30, deadline=None)
+    @given(length=st.integers(10, 2000), n_clients=st.integers(1, 12), seed=st.integers(0, 20))
+    def test_disjoint_cover(self, length, n_clients, seed):
+        if length < n_clients:
+            length = n_clients
+        parts = partition_stream_contiguous(length, n_clients, np.random.default_rng(seed))
+        assert_disjoint_cover(parts, length)
+
+    def test_chunks_contiguous(self):
+        parts = partition_stream_contiguous(100, 7, np.random.default_rng(0))
+        for p in parts:
+            np.testing.assert_array_equal(p, np.arange(p[0], p[-1] + 1))

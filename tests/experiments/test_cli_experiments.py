@@ -1,0 +1,43 @@
+"""Tests for the experiments CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_exist(self):
+        parser = build_parser()
+        for cmd in ("table1", "table2", "fig2", "fig6", "fig7", "fig8", "ablations", "run"):
+            args = parser.parse_args(
+                [cmd] if cmd not in ("run",) else [cmd, "mnist", "fedavg"]
+            )
+            assert args.command == cmd
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_validates_task(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "cifar", "fedavg"])
+
+
+class TestMain:
+    def test_run_subcommand_smoke(self, capsys):
+        code = main(["run", "mnist", "fedavg", "--rounds", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fedavg on mnist" in out
+        assert "save" in out
+
+    def test_run_with_dropout_override(self, capsys):
+        code = main(["run", "mnist", "fedbiad", "--rounds", "2", "--dropout-rate", "0.5"])
+        assert code == 0
+        assert "fedbiad on mnist" in capsys.readouterr().out
+
+    def test_unknown_dataset_list_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "--datasets", "imagenet"])

@@ -1,0 +1,109 @@
+"""Tests for masked weighted aggregation (Eq. 10 and per-row variant)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fl.aggregation import ClientPayload, aggregate
+from repro.fl.parameters import ParamSet
+
+
+def ps(value, shape=(3, 2)):
+    return ParamSet({"w": np.full(shape, float(value)), "b": np.full(shape[0], float(value))})
+
+
+class TestDenseAggregation:
+    def test_weighted_mean(self):
+        out = aggregate(
+            [ClientPayload(ps(1.0), weight=1.0), ClientPayload(ps(4.0), weight=3.0)],
+            prev_global=ps(0.0),
+        )
+        np.testing.assert_allclose(out["w"], np.full((3, 2), 3.25))
+
+    def test_single_client_identity(self):
+        out = aggregate([ClientPayload(ps(2.0), weight=5.0)], prev_global=ps(0.0))
+        np.testing.assert_allclose(out["w"], np.full((3, 2), 2.0))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            aggregate([], prev_global=ps(0.0))
+
+    def test_zero_weight_raises(self):
+        with pytest.raises(ValueError):
+            aggregate([ClientPayload(ps(1.0), weight=0.0)], prev_global=ps(0.0))
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            aggregate([ClientPayload(ps(1.0), weight=1.0)], ps(0.0), mode="magic")
+
+
+class TestPerRowAggregation:
+    def test_row_held_by_one_client(self):
+        a = ps(2.0)
+        b = ps(6.0)
+        mask_a = {"w": np.array([True, True, False])}
+        mask_b = {"w": np.array([True, False, False])}
+        # zero out dropped rows as clients would
+        a["w"][~mask_a["w"]] = 0.0
+        b["w"][~mask_b["w"]] = 0.0
+        out = aggregate(
+            [
+                ClientPayload(a, weight=1.0, masks=mask_a),
+                ClientPayload(b, weight=1.0, masks=mask_b),
+            ],
+            prev_global=ps(-1.0),
+        )
+        np.testing.assert_allclose(out["w"][0], np.full(2, 4.0))  # both hold
+        np.testing.assert_allclose(out["w"][1], np.full(2, 2.0))  # only a holds
+        np.testing.assert_allclose(out["w"][2], np.full(2, -1.0))  # nobody: prev
+
+    def test_elementwise_masks(self):
+        a = ps(2.0)
+        mask = {"w": np.zeros((3, 2), dtype=bool)}
+        mask["w"][0, 0] = True
+        out = aggregate(
+            [ClientPayload(a, weight=1.0, masks=mask)], prev_global=ps(-1.0)
+        )
+        assert out["w"][0, 0] == 2.0
+        assert out["w"][2, 1] == -1.0
+
+    def test_unmasked_params_aggregate_densely(self):
+        a = ps(2.0)
+        mask = {"w": np.array([False, False, False])}
+        out = aggregate(
+            [ClientPayload(a, weight=1.0, masks=mask)], prev_global=ps(-1.0)
+        )
+        np.testing.assert_allclose(out["b"], np.full(3, 2.0))
+
+    def test_bad_mask_shape(self):
+        a = ps(2.0)
+        payload = ClientPayload(a, weight=1.0, masks={"w": np.zeros((4,), dtype=bool)})
+        with pytest.raises(ValueError):
+            aggregate([payload], prev_global=ps(0.0))
+
+
+class TestPaperLiteralMode:
+    def test_dropped_rows_shrink(self):
+        a = ps(4.0)
+        mask = {"w": np.array([True, False, True])}
+        a["w"][1] = 0.0
+        out = aggregate(
+            [
+                ClientPayload(a, weight=1.0, masks=mask),
+                ClientPayload(ps(4.0), weight=1.0),
+            ],
+            prev_global=ps(0.0),
+            mode="paper-literal",
+        )
+        # row 1: (0 + 4) / 2 = 2 — literal Eq. (10) shrinkage
+        np.testing.assert_allclose(out["w"][1], np.full(2, 2.0))
+
+    def test_matches_per_row_when_full(self):
+        payloads = [
+            ClientPayload(ps(1.0), weight=2.0),
+            ClientPayload(ps(5.0), weight=1.0),
+        ]
+        literal = aggregate(payloads, ps(0.0), mode="paper-literal")
+        per_row = aggregate(payloads, ps(0.0), mode="per-row")
+        assert literal.allclose(per_row)

@@ -1,0 +1,154 @@
+"""Tests for the client-side method interface and local SGD loops."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.masks import (
+    apply_element_masks,
+    mask_element_gradients,
+    run_masked_element_sgd,
+    scale_kept_entries,
+)
+from repro.fl.client import ClientContext, FederatedMethod, run_local_sgd
+from repro.fl.metrics import evaluate
+from repro.fl.parameters import ParamSet
+from repro.fl.rows import RowSpace
+from repro.nn.models import build_model
+from repro.nn.optim import SGD
+
+
+class TestRunLocalSGD:
+    def test_returns_losses(self, tiny_image_task, rng):
+        model = build_model(tiny_image_task.model_spec, rng)
+        batcher = tiny_image_task.batcher(0, 8, rng)
+        optimizer = SGD(model.parameters(), lr=0.2)
+        losses = run_local_sgd(model, optimizer, batcher, iterations=5)
+        assert len(losses) == 5
+        assert all(np.isfinite(l) for l in losses)
+
+    def test_masks_require_rowspace(self, tiny_image_task, rng):
+        model = build_model(tiny_image_task.model_spec, rng)
+        batcher = tiny_image_task.batcher(0, 8, rng)
+        optimizer = SGD(model.parameters(), lr=0.2)
+        with pytest.raises(ValueError):
+            run_local_sgd(model, optimizer, batcher, 2, masks={"w": np.ones(3, bool)})
+
+    def test_dropped_rows_stay_zero(self, tiny_image_task, rng):
+        model = build_model(tiny_image_task.model_spec, rng)
+        space = RowSpace.from_module(model)
+        beta = space.sample_pattern(0.5, rng)
+        masks = space.split(beta)
+        space.zero_dropped_rows(model, masks)
+        batcher = tiny_image_task.batcher(0, 8, rng)
+        optimizer = SGD(model.parameters(), lr=0.5, momentum=0.9, weight_decay=0.1)
+        run_local_sgd(model, optimizer, batcher, 6, rowspace=space, masks=masks)
+        for name, p in model.named_parameters():
+            if name in masks:
+                assert np.all(p.data[~masks[name]] == 0.0)
+
+    def test_on_iteration_hook(self, tiny_image_task, rng):
+        model = build_model(tiny_image_task.model_spec, rng)
+        batcher = tiny_image_task.batcher(0, 8, rng)
+        optimizer = SGD(model.parameters(), lr=0.2)
+        seen = []
+        run_local_sgd(
+            model, optimizer, batcher, 3,
+            on_iteration=lambda v, loss: seen.append((v, loss)),
+        )
+        assert [v for v, _ in seen] == [0, 1, 2]
+
+
+class TestElementMaskedSGD:
+    def test_dropped_entries_stay_zero(self, tiny_image_task, rng):
+        model = build_model(tiny_image_task.model_spec, rng)
+        masks = {
+            "net.layer0.weight": rng.random((8, 12)) < 0.5,
+        }
+        optimizer = SGD(model.parameters(), lr=0.5, momentum=0.9)
+        batcher = tiny_image_task.batcher(0, 8, rng)
+        run_masked_element_sgd(model, optimizer, batcher, 5, masks)
+        p = dict(model.named_parameters())["net.layer0.weight"]
+        assert np.all(p.data[~masks["net.layer0.weight"]] == 0.0)
+
+    def test_scaling_applied_and_removable(self, tiny_image_task, rng):
+        model = build_model(tiny_image_task.model_spec, rng)
+        name = "net.layer0.weight"
+        original = dict(model.named_parameters())[name].data.copy()
+        masks = {name: np.ones((8, 12), dtype=bool)}
+        scale_kept_entries(model, masks, 2.0)
+        scaled = dict(model.named_parameters())[name].data
+        np.testing.assert_allclose(scaled, 2.0 * original)
+        scale_kept_entries(model, masks, 0.5)
+        np.testing.assert_allclose(
+            dict(model.named_parameters())[name].data, original
+        )
+
+    def test_gradient_masking(self, tiny_image_task, rng):
+        model = build_model(tiny_image_task.model_spec, rng)
+        batcher = tiny_image_task.batcher(0, 8, rng)
+        loss = model.loss(batcher.next_batch())
+        loss.backward()
+        mask = np.zeros((8, 12), dtype=bool)
+        mask_element_gradients(model, {"net.layer0.weight": mask})
+        p = dict(model.named_parameters())["net.layer0.weight"]
+        assert np.all(p.grad == 0.0)
+
+    def test_apply_element_masks(self, tiny_image_task, rng):
+        model = build_model(tiny_image_task.model_spec, rng)
+        mask = np.zeros((8, 12), dtype=bool)
+        apply_element_masks(model, {"net.layer0.weight": mask})
+        p = dict(model.named_parameters())["net.layer0.weight"]
+        assert np.all(p.data == 0.0)
+
+
+class TestFederatedMethodBase:
+    def test_base_client_update_abstract(self, tiny_image_task, fast_config, rng):
+        method = FederatedMethod()
+        model = build_model(tiny_image_task.model_spec, rng)
+        method.setup(model, tiny_image_task, fast_config, rng)
+        ctx = ClientContext(
+            client_id=0, round_index=1,
+            global_params=ParamSet.from_module(model), model=model,
+            batcher=tiny_image_task.batcher(0, 4, rng),
+            config=fast_config, rng=rng, state={},
+        )
+        with pytest.raises(NotImplementedError):
+            method.client_update(ctx)
+
+    def test_download_bits_dense(self, tiny_image_task, fast_config, rng):
+        method = FederatedMethod()
+        model = build_model(tiny_image_task.model_spec, rng)
+        method.setup(model, tiny_image_task, fast_config, rng)
+        params = ParamSet.from_module(model)
+        assert method.download_bits(params) == 32 * params.num_weights
+
+    def test_make_optimizer_uses_config(self, tiny_image_task, fast_config, rng):
+        method = FederatedMethod()
+        model = build_model(tiny_image_task.model_spec, rng)
+        method.setup(model, tiny_image_task, fast_config, rng)
+        opt = method.make_optimizer(model)
+        assert opt.lr == fast_config.lr
+
+
+class TestEvaluate:
+    def test_perfect_model_scores_one(self, tiny_image_task, rng):
+        class Oracle:
+            def predict_logits(self, x):
+                # peak at the true class via nearest prototype reconstruction
+                return x @ protos.T
+
+        xs, ys = tiny_image_task.test_data
+        protos = np.stack([xs[ys == c].mean(axis=0) for c in range(4)])
+        loss, acc = evaluate(Oracle(), tiny_image_task)
+        assert acc > 0.9
+
+    def test_uniform_model_matches_chance(self, tiny_text_task):
+        class Uniform:
+            def predict_logits(self, x):
+                return np.zeros(x.shape + (12,))
+
+        loss, acc = evaluate(Uniform(), tiny_text_task)
+        assert loss == pytest.approx(np.log(12), rel=1e-6)
+        assert acc == pytest.approx(3 / 12, abs=0.1)

@@ -1,0 +1,91 @@
+"""Property-based tests for the ParamSet algebra."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fl.parameters import ParamSet
+
+
+def make_paramset(seed: int, scale: float = 1.0) -> ParamSet:
+    rng = np.random.default_rng(seed)
+    return ParamSet(
+        {
+            "w1": scale * rng.normal(size=(4, 3)),
+            "b1": scale * rng.normal(size=(4,)),
+            "w2": scale * rng.normal(size=(2, 4)),
+        }
+    )
+
+
+class TestAlgebra:
+    @settings(max_examples=25, deadline=None)
+    @given(a=st.integers(0, 50), b=st.integers(0, 50))
+    def test_add_commutative(self, a, b):
+        x, y = make_paramset(a), make_paramset(b)
+        assert (x + y).allclose(y + x)
+
+    @settings(max_examples=25, deadline=None)
+    @given(a=st.integers(0, 50), s=st.floats(-5, 5, allow_nan=False))
+    def test_scale_distributes(self, a, s):
+        x = make_paramset(a)
+        assert (x + x).scale(s).allclose(x.scale(2 * s))
+
+    @settings(max_examples=25, deadline=None)
+    @given(a=st.integers(0, 50))
+    def test_sub_self_is_zero(self, a):
+        x = make_paramset(a)
+        assert (x - x).allclose(x.zeros_like())
+
+    @settings(max_examples=25, deadline=None)
+    @given(a=st.integers(0, 50))
+    def test_flatten_roundtrip(self, a):
+        x = make_paramset(a)
+        assert ParamSet.from_flat(x, x.flatten()).allclose(x)
+
+    def test_rmul(self):
+        x = make_paramset(0)
+        assert (2.0 * x).allclose(x.scale(2.0))
+
+    def test_key_mismatch_raises(self):
+        x = make_paramset(0)
+        y = ParamSet({"other": np.zeros(3)})
+        with pytest.raises(KeyError):
+            _ = x + y
+
+    def test_from_flat_size_mismatch(self):
+        x = make_paramset(0)
+        with pytest.raises(ValueError):
+            ParamSet.from_flat(x, np.zeros(5))
+
+
+class TestViews:
+    def test_clone_is_independent(self):
+        x = make_paramset(0)
+        y = x.clone()
+        y["w1"][0, 0] = 999.0
+        assert x["w1"][0, 0] != 999.0
+
+    def test_num_weights(self):
+        assert make_paramset(0).num_weights == 12 + 4 + 8
+
+    def test_l2_norm_matches_flat(self):
+        x = make_paramset(3)
+        assert x.l2_norm() == pytest.approx(np.linalg.norm(x.flatten()))
+
+    def test_module_roundtrip(self, tiny_mlp):
+        ps = ParamSet.from_module(tiny_mlp)
+        ps2 = ps.scale(0.5)
+        ps2.to_module(tiny_mlp)
+        np.testing.assert_allclose(
+            tiny_mlp.state_dict()["net.layer0.weight"], ps2["net.layer0.weight"]
+        )
+
+    def test_mapping_interface(self):
+        x = make_paramset(0)
+        assert set(x.keys()) == {"w1", "b1", "w2"}
+        assert len(x) == 3
+        assert "w1" in x

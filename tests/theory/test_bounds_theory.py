@@ -1,0 +1,95 @@
+"""Tests for Theorem 1's generalization-bound machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.theory.bounds import (
+    ModelStructure,
+    client_data_floor,
+    epsilon_term,
+    generalization_bound,
+    holder_upper_rate,
+    minimax_lower_rate,
+    posterior_variance,
+)
+
+S = ModelStructure(unsparse=2000, layers=2, width=48, input_dim=32)
+
+
+class TestEpsilonTerm:
+    def test_positive(self):
+        assert epsilon_term(S, 100) > 0
+
+    def test_decreasing_in_m(self):
+        values = [epsilon_term(S, m) for m in (10, 100, 1000, 10000)]
+        assert values == sorted(values, reverse=True)
+
+    def test_increasing_in_unsparse(self):
+        small = epsilon_term(ModelStructure(100, 2, 48, 32), 1000)
+        large = epsilon_term(ModelStructure(5000, 2, 48, 32), 1000)
+        assert large > small
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            epsilon_term(S, 0)
+
+
+class TestGeneralizationBound:
+    def test_positive_and_decreasing(self):
+        values = [generalization_bound(S, m) for m in (100, 1000, 10000)]
+        assert all(v > 0 for v in values)
+        assert values == sorted(values, reverse=True)
+
+    def test_xi_terms_add(self):
+        base = generalization_bound(S, 1000)
+        with_xi = generalization_bound(S, 1000, xi_terms=[0.1, 0.2])
+        assert with_xi > base
+
+    def test_alpha_validated(self):
+        with pytest.raises(ValueError):
+            generalization_bound(S, 100, alpha=1.0)
+
+    def test_realizable_case_vanishes_with_data(self):
+        # with xi = 0 the bound must go to zero as m -> infinity
+        assert generalization_bound(S, 10**11) < 1e-4
+
+
+class TestRates:
+    def test_minimax_rate_shape(self):
+        m = np.array([10, 100, 1000])
+        rate = minimax_lower_rate(m, gamma=1.0, d=4)
+        np.testing.assert_allclose(rate, m ** (-2 / 6.0))
+
+    def test_upper_has_log_squared(self):
+        m = 1000
+        up = holder_upper_rate(m, 1.0, 4)
+        lo = minimax_lower_rate(m, 1.0, 4)
+        assert up / lo == pytest.approx(np.log(m) ** 2)
+
+    def test_rates_match_up_to_logs(self):
+        # the paper's minimax-optimality: ratio grows only polylog
+        ms = np.array([10**3, 10**6, 10**9], dtype=float)
+        ratio = holder_upper_rate(ms, 1.5, 8) / minimax_lower_rate(ms, 1.5, 8)
+        np.testing.assert_allclose(ratio, np.log(ms) ** 2)
+
+    def test_gamma_validated(self):
+        with pytest.raises(ValueError):
+            minimax_lower_rate(100, gamma=0.0, d=4)
+
+
+class TestDataFloor:
+    def test_formula(self):
+        assert client_data_floor(3, 10, 7) == 210
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            client_data_floor(0, 10, 7)
+
+
+class TestConsistencyWithCore:
+    def test_posterior_variance_reexported(self):
+        from repro.core.spike_slab import posterior_variance as core_pv
+
+        assert posterior_variance is core_pv
