@@ -15,7 +15,15 @@ from __future__ import annotations
 import os
 from pathlib import Path
 
+import pytest
+
 OUT_DIR = Path(__file__).parent / "out"
+
+
+def pytest_collection_modifyitems(items):
+    """Every benchmark is `slow`: excluded by `-m "not slow"` CI runs."""
+    for item in items:
+        item.add_marker(pytest.mark.slow)
 
 
 def emit(name: str, text: str) -> None:

@@ -1,0 +1,63 @@
+"""Benchmark: serial vs process-pool execution backend wall-clock.
+
+Runs the same (task, method, config) simulation through
+``SerialBackend`` and ``ProcessPoolBackend`` at several worker counts
+and reports host wall-clock per round.  The histories are bit-identical
+by construction (see tests/fl/test_engine_fl.py); this measures only
+the speedup and the pool's overhead floor.
+
+Process-pool wins grow with per-client compute; at the default small
+scale each client trains for only a few milliseconds, so expect the
+pool to pay off around `local_iterations` in the hundreds or the paper
+scale's wider models.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.baselines.registry import make_method
+from repro.data.registry import make_task
+from repro.experiments.configs import preset_for
+from repro.fl.engine import ProcessPoolBackend, SerialBackend
+from repro.fl.simulation import run_simulation
+
+from conftest import emit
+
+ROUNDS = 5
+WORKER_COUNTS = (1, 2, 4)
+
+
+def test_engine_backends(benchmark):
+    task = make_task("mnist", "small", 0)
+    config = preset_for("mnist", None).fl.with_overrides(
+        rounds=ROUNDS, kappa=0.3, local_iterations=30
+    )
+
+    def run_serial():
+        return run_simulation(task, make_method("fedavg"), config, backend=SerialBackend())
+
+    history = benchmark.pedantic(run_serial, rounds=1, iterations=1)
+    serial_seconds = benchmark.stats.stats.total
+
+    lines = [
+        "engine backend wall-clock "
+        f"(mnist/small, fedavg, {ROUNDS} rounds, "
+        f"{config.clients_per_round(task.n_clients)} clients/round)",
+        "",
+        f"{'backend':>12} {'total':>9} {'per round':>10} {'speedup':>8}",
+        f"{'serial':>12} {serial_seconds:>8.2f}s {serial_seconds / ROUNDS:>9.3f}s {1.0:>7.2f}x",
+    ]
+    for workers in WORKER_COUNTS:
+        with ProcessPoolBackend(workers=workers) as backend:
+            start = time.perf_counter()
+            pooled = run_simulation(task, make_method("fedavg"), config, backend=backend)
+            pool_seconds = time.perf_counter() - start
+        assert len(pooled) == len(history) == ROUNDS
+        lines.append(
+            f"{f'process x{workers}':>12} {pool_seconds:>8.2f}s "
+            f"{pool_seconds / ROUNDS:>9.3f}s {serial_seconds / pool_seconds:>7.2f}x"
+        )
+    emit("engine_bench", "\n".join(lines))
+
+    assert history.final_accuracy > 0

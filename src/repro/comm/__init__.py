@@ -1,7 +1,14 @@
 """Communication cost and training-time models."""
 
 from .network import TMOBILE_5G, NetworkModel
-from .timing import RoundTiming, lttr_seconds, round_timings, time_to_accuracy
+from .timing import (
+    RoundTiming,
+    lttr_seconds,
+    round_timings,
+    simulated_seconds,
+    simulated_time_to_accuracy,
+    time_to_accuracy,
+)
 
 __all__ = [
     "TMOBILE_5G",
@@ -9,5 +16,7 @@ __all__ = [
     "RoundTiming",
     "lttr_seconds",
     "round_timings",
+    "simulated_seconds",
+    "simulated_time_to_accuracy",
     "time_to_accuracy",
 ]

@@ -7,6 +7,18 @@
   parameter transmission time over the modeled 5G link, and parameter
   aggregation time.  Selected clients run in parallel, so a round's
   wall time is the slowest client's local time plus its transfers.
+
+Two time bases coexist:
+
+* :func:`round_timings`/:func:`time_to_accuracy` model time *post hoc*
+  from a history's mean LTTR/bit counts and a single
+  :class:`~repro.comm.network.NetworkModel` — the paper's Fig. 7
+  methodology;
+* :func:`simulated_time_to_accuracy`/:func:`simulated_seconds` read the
+  per-round virtual-clock columns that
+  :class:`~repro.fl.systems.SystemModel` runs record (heterogeneous
+  links, per-client speeds, straggler deadlines) — preferred whenever
+  ``History.sim_clock_seconds`` is populated.
 """
 
 from __future__ import annotations
@@ -18,7 +30,14 @@ import numpy as np
 from ..fl.metrics import History
 from .network import NetworkModel, TMOBILE_5G
 
-__all__ = ["RoundTiming", "round_timings", "lttr_seconds", "time_to_accuracy"]
+__all__ = [
+    "RoundTiming",
+    "round_timings",
+    "lttr_seconds",
+    "time_to_accuracy",
+    "simulated_seconds",
+    "simulated_time_to_accuracy",
+]
 
 
 @dataclass(frozen=True)
@@ -78,4 +97,25 @@ def time_to_accuracy(
         elapsed += timing.total_seconds
         if np.isfinite(record.test_accuracy) and record.test_accuracy >= target_accuracy:
             return elapsed
+    return None
+
+
+def simulated_seconds(history: History) -> float:
+    """Total virtual-clock seconds of a run (system-model time base)."""
+    return history.total_sim_seconds
+
+
+def simulated_time_to_accuracy(history: History, target_accuracy: float) -> float | None:
+    """Virtual-clock time until test accuracy first reaches ``target``.
+
+    Uses the per-round ``sim_clock_seconds`` recorded by the system
+    simulation; returns ``None`` when the run never reaches the target,
+    or when the history carries no virtual-clock data at all (e.g. one
+    loaded from a checkpoint written before the system layer existed).
+    """
+    if history.total_sim_seconds <= 0.0:
+        return None
+    for record in history.records:
+        if np.isfinite(record.test_accuracy) and record.test_accuracy >= target_accuracy:
+            return float(record.sim_clock_seconds)
     return None

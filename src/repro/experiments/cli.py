@@ -10,9 +10,16 @@ Usage::
     python -m repro.experiments.cli fig8
     python -m repro.experiments.cli ablations --datasets fmnist
     python -m repro.experiments.cli run mnist fedbiad --rounds 20
+    python -m repro.experiments.cli run mnist fedbiad --backend process --workers 4
+    python -m repro.experiments.cli run mnist fedbiad --device-profile straggler
 
 The ``run`` subcommand executes a single (task, method) simulation and
 prints its summary — handy for interactive exploration.
+
+Every subcommand accepts ``--backend serial|process`` (with
+``--workers N``) to pick the execution engine, and ``--device-profile``
+to run under a system model (``ideal``, ``heterogeneous``, ``flaky``,
+``straggler``); see :mod:`repro.fl.engine` and :mod:`repro.fl.systems`.
 """
 
 from __future__ import annotations
@@ -21,16 +28,34 @@ import argparse
 import sys
 
 from ..data.registry import TASK_NAMES
+from ..fl.engine import BACKEND_NAMES
+from ..fl.systems import SYSTEM_NAMES
 from .ablations import format_ablations, run_ablations
 from .fig2 import format_fig2, run_fig2
 from .fig6 import format_fig6, run_fig6
 from .fig7 import format_fig7, run_fig7
 from .fig8 import format_fig8, run_fig8
-from .runner import run_experiment
+from .runner import run_experiment, set_default_execution
 from .table1 import format_table1, run_table1
 from .table2 import format_table2, run_table2
 
 __all__ = ["main", "build_parser"]
+
+
+def _nonnegative_int(raw: str) -> int:
+    value = int(raw)
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be >= 0 (0 = all cores)")
+    return value
+
+
+def _add_execution_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--backend", default=None, choices=BACKEND_NAMES,
+                   help="execution backend for client updates")
+    p.add_argument("--workers", type=_nonnegative_int, default=None,
+                   help="process-pool size (0 = all cores); implies --backend process")
+    p.add_argument("--device-profile", default=None, choices=SYSTEM_NAMES,
+                   help="system model for device heterogeneity")
 
 
 def _dataset_list(raw: str | None, default: tuple[str, ...]) -> tuple[str, ...]:
@@ -54,12 +79,15 @@ def build_parser() -> argparse.ArgumentParser:
         p = sub.add_parser(name)
         p.add_argument("--datasets", default=None, help="comma-separated subset")
         p.add_argument("--scale", default=None, choices=("small", "paper"))
+        _add_execution_flags(p)
     for name in ("fig2", "fig8"):
         p = sub.add_parser(name)
         p.add_argument("--scale", default=None, choices=("small", "paper"))
+        _add_execution_flags(p)
     p = sub.add_parser("ablations")
     p.add_argument("--datasets", default="fmnist")
     p.add_argument("--scale", default=None, choices=("small", "paper"))
+    _add_execution_flags(p)
 
     p = sub.add_parser("run", help="run one (task, method) simulation")
     p.add_argument("task", choices=TASK_NAMES)
@@ -68,11 +96,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dropout-rate", type=float, default=None)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--scale", default=None, choices=("small", "paper"))
+    _add_execution_flags(p)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    backend = getattr(args, "backend", None)
+    workers = getattr(args, "workers", None)
+    if workers is not None and backend is None:
+        backend = "process"  # --workers only means anything to the pool
+    set_default_execution(
+        backend=backend,
+        workers=workers,
+        system=getattr(args, "device_profile", None),
+    )
 
     if args.command == "table1":
         rows = run_table1(datasets=_dataset_list(args.datasets, TASK_NAMES), scale=args.scale)
@@ -103,11 +141,22 @@ def main(argv: list[str] | None = None) -> int:
             args.task, args.method, scale=args.scale, seed=args.seed,
             config_overrides=overrides or None,
         )
-        print(
+        line = (
             f"{args.method} on {args.task}: best acc {result.best_accuracy:.4f}, "
             f"upload {result.upload_bits / 8 / 1024:.1f}KB/round "
             f"(save {result.save_ratio:.2f}x), LTTR {result.lttr * 1e3:.1f}ms"
         )
+        line += (
+            f", sim clock {result.sim_seconds:.3g}s"
+            f", participation {100 * result.participation:.0f}%"
+        )
+        print(line)
+        if args.device_profile not in (None, "ideal"):
+            per_round = ", ".join(
+                f"r{r.round_index}:{r.n_selected}/{r.n_scheduled}"
+                for r in result.history.records
+            )
+            print(f"  per-round participation [{args.device_profile}]: {per_round}")
     return 0
 
 

@@ -26,10 +26,38 @@ from ..fl.sizing import dense_bits
 from ..nn.models import build_model
 from .configs import ExperimentPreset, preset_for
 
-__all__ = ["RunResult", "resolve_method", "run_experiment", "clear_cache", "dense_upload_bits"]
+__all__ = [
+    "RunResult",
+    "resolve_method",
+    "run_experiment",
+    "clear_cache",
+    "dense_upload_bits",
+    "set_default_execution",
+]
 
 _CACHE: dict[tuple, "RunResult"] = {}
 _TASK_CACHE: dict[tuple, object] = {}
+
+#: Process-wide execution defaults applied by :func:`run_experiment`
+#: when neither ``config_overrides`` nor explicit kwargs choose them.
+#: Lets the CLI select a backend/device profile once for *every*
+#: figure/table experiment without threading flags through each module.
+_EXECUTION_DEFAULTS: dict[str, object] = {}
+
+
+def set_default_execution(
+    backend: str | None = None,
+    workers: int | None = None,
+    system: str | None = None,
+) -> None:
+    """Set process-wide execution defaults (``None`` leaves FLConfig's)."""
+    _EXECUTION_DEFAULTS.clear()
+    if backend is not None:
+        _EXECUTION_DEFAULTS["backend"] = backend
+    if workers is not None:
+        _EXECUTION_DEFAULTS["workers"] = workers
+    if system is not None:
+        _EXECUTION_DEFAULTS["system"] = system
 
 
 @dataclass
@@ -44,6 +72,8 @@ class RunResult:
     upload_bits: float  # mean per-client per-round
     dense_bits: int
     lttr: float
+    sim_seconds: float = 0.0  # virtual-clock duration of the whole run
+    participation: float = 1.0  # mean fraction of scheduled clients on time
 
     @property
     def save_ratio(self) -> float:
@@ -91,11 +121,24 @@ def run_experiment(
     config_overrides: dict | None = None,
     method_kwargs: dict | None = None,
     use_cache: bool = True,
+    backend: str | None = None,
+    workers: int | None = None,
+    system: str | None = None,
 ) -> RunResult:
-    """Run (or fetch from cache) one federated simulation."""
+    """Run (or fetch from cache) one federated simulation.
+
+    ``backend``/``workers``/``system`` select the execution backend and
+    device profile; unset values fall back to ``config_overrides``, then
+    to :func:`set_default_execution`, then to ``FLConfig`` defaults.
+    """
     preset = preset_for(task_name, scale)
-    fl: FLConfig = preset.fl.with_overrides(seed=seed, **(config_overrides or {}))
-    key = (task_name, preset.scale, method_spec, seed, tuple(sorted((config_overrides or {}).items())),
+    overrides = dict(_EXECUTION_DEFAULTS)
+    overrides.update(config_overrides or {})
+    for name, value in (("backend", backend), ("workers", workers), ("system", system)):
+        if value is not None:
+            overrides[name] = value
+    fl: FLConfig = preset.fl.with_overrides(seed=seed, **overrides)
+    key = (task_name, preset.scale, method_spec, seed, tuple(sorted(overrides.items())),
            tuple(sorted((method_kwargs or {}).items())))
     if use_cache and key in _CACHE:
         return _CACHE[key]
@@ -112,6 +155,8 @@ def run_experiment(
         upload_bits=history.mean_upload_bits(),
         dense_bits=dense_upload_bits(task),
         lttr=lttr_seconds(history),
+        sim_seconds=history.total_sim_seconds,
+        participation=float(history.participation().mean()) if len(history) else 1.0,
     )
     if use_cache:
         _CACHE[key] = result

@@ -4,10 +4,28 @@ from .aggregation import AGGREGATION_MODES, ClientPayload, aggregate
 from .checkpoints import load_history, load_params, save_history, save_params
 from .client import ClientContext, ClientUpdate, FederatedMethod, run_local_sgd
 from .config import FLConfig
+from .engine import (
+    BACKEND_NAMES,
+    ClientResult,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    make_backend,
+)
 from .metrics import History, RoundRecord, evaluate, topk_accuracy
 from .parameters import ParamSet
 from .rows import RowBlock, RowSpace
 from .simulation import FederatedSimulation, run_simulation
+from .systems import (
+    DEVICE_PROFILES,
+    SYSTEM_NAMES,
+    ClientArrival,
+    HeterogeneousSystem,
+    IdealSystem,
+    SystemModel,
+    VirtualClock,
+    make_system,
+)
 from .sizing import (
     FLOAT_BITS,
     POSITION_BITS,
@@ -44,6 +62,20 @@ __all__ = [
     "RowSpace",
     "FederatedSimulation",
     "run_simulation",
+    "BACKEND_NAMES",
+    "ClientResult",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "make_backend",
+    "DEVICE_PROFILES",
+    "SYSTEM_NAMES",
+    "ClientArrival",
+    "HeterogeneousSystem",
+    "IdealSystem",
+    "SystemModel",
+    "VirtualClock",
+    "make_system",
     "FLOAT_BITS",
     "POSITION_BITS",
     "bits_to_bytes",

@@ -22,6 +22,14 @@ class FLConfig:
       to score-driven patterns (paper: 55 of 60); ``None`` resolves to
       ``round(0.9 * rounds)``;
     * ``weight_decay`` — realizes the ``KL`` term of Eq. (2) as L2.
+
+    Execution/system fields (not part of the paper's notation):
+
+    * ``backend`` — how the cohort executes: ``"serial"`` or
+      ``"process"`` (see :mod:`repro.fl.engine`);
+    * ``workers`` — process-pool size; ``0`` means all CPU cores;
+    * ``system`` — device-behaviour profile name (see
+      :data:`repro.fl.systems.DEVICE_PROFILES`).
     """
 
     rounds: int = 20
@@ -40,6 +48,9 @@ class FLConfig:
     eval_batch_size: int = 512
     seed: int = 0
     posterior_std_override: float | None = None
+    backend: str = "serial"
+    workers: int = 0
+    system: str = "ideal"
 
     def __post_init__(self) -> None:
         if self.rounds <= 0:
@@ -52,6 +63,8 @@ class FLConfig:
             raise ValueError("tau must be >= 1")
         if self.local_iterations < 1:
             raise ValueError("local_iterations must be >= 1")
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0 (0 = all cores)")
 
     @property
     def resolved_stage_boundary(self) -> int:

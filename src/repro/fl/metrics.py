@@ -63,7 +63,14 @@ def evaluate(model, task, batch_size: int = 256) -> tuple[float, float]:
 
 @dataclass
 class RoundRecord:
-    """Everything measured in one global round."""
+    """Everything measured in one global round.
+
+    ``n_selected`` counts the clients whose updates were aggregated;
+    ``n_scheduled`` counts everyone the server asked to train.  The
+    difference (``n_stragglers``) missed the system model's round
+    deadline.  ``sim_round_seconds``/``sim_clock_seconds`` are virtual
+    clock readings (see :mod:`repro.fl.systems`), not host wall-clock.
+    """
 
     round_index: int
     train_loss: float
@@ -75,6 +82,17 @@ class RoundRecord:
     n_selected: int
     lttr_seconds_mean: float
     aggregation_seconds: float
+    n_scheduled: int = 0
+    n_stragglers: int = 0
+    sim_round_seconds: float = 0.0
+    sim_clock_seconds: float = 0.0
+
+    @property
+    def participation_rate(self) -> float:
+        """Fraction of scheduled clients that reported before the deadline."""
+        if self.n_scheduled <= 0:
+            return 1.0
+        return self.n_selected / self.n_scheduled
 
 
 @dataclass
@@ -103,6 +121,15 @@ class History:
     def best_accuracy(self) -> float:
         """Highest evaluated accuracy (rounds without eval are NaN)."""
         return float(np.nanmax(self.series("test_accuracy")))
+
+    @property
+    def total_sim_seconds(self) -> float:
+        """Virtual-clock time of the whole run (last round's clock)."""
+        return float(self.records[-1].sim_clock_seconds) if self.records else 0.0
+
+    def participation(self) -> np.ndarray:
+        """Per-round fraction of scheduled clients that made the deadline."""
+        return np.array([r.participation_rate for r in self.records])
 
     def mean_upload_bits(self) -> float:
         """Average per-client upload per round — Table I's 'Upload Size'."""

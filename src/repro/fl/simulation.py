@@ -1,12 +1,43 @@
 """The federated round loop (server orchestration).
 
 :class:`FederatedSimulation` reproduces the training procedure of
-Algorithm 1's server side: per round it selects ``c = max(floor(kappa *
-K), 1)`` clients, runs their local updates, aggregates, and evaluates
-the new global model on the held-out test set.  It also measures what
-the paper's Fig. 7 needs: per-client local-training wall-clock (LTTR)
-and per-round upload/download bit counts (turned into transmission time
-by :mod:`repro.comm.timing`).
+Algorithm 1's server side, but is now a thin orchestrator over two
+pluggable layers:
+
+* an :class:`~repro.fl.engine.ExecutionBackend` decides *how* the
+  selected cohort's local updates run (serially in-process, or fanned
+  out over a ``multiprocessing`` pool) — see :mod:`repro.fl.engine`;
+* a :class:`~repro.fl.systems.SystemModel` decides how the *devices*
+  behave (availability, compute speed, link bandwidth, round deadline)
+  and a :class:`~repro.fl.systems.VirtualClock` turns that into
+  simulated wall-clock per round — see :mod:`repro.fl.systems`.
+
+Per round the server selects ``c = max(floor(kappa * K), 1)`` clients
+from the currently-available fleet, executes their local updates through
+the backend, schedules each upload on the virtual clock at its simulated
+arrival time (download + scaled compute + upload over the client's
+link), drops clients that miss the system model's round deadline
+(stragglers), aggregates the on-time updates, and evaluates the new
+global model.  It also measures what the paper's Fig. 7 needs:
+per-client local-training wall-clock (LTTR) and per-round
+upload/download bit counts (turned into transmission time by
+:mod:`repro.comm.timing`).
+
+Every stochastic choice is drawn from an RNG stream derived from
+``(seed, round[, client])`` — never from shared-generator call order —
+so a run's learning trajectory (losses, accuracies, selection,
+upload/download bits) is bit-identical across execution backends and
+worker counts.  Two caveats about the *timing* columns:
+
+* fields derived from measured wall-clock (``lttr_seconds_mean``,
+  ``aggregation_seconds``, and sim-clock columns under any profile
+  that scales measured LTTR) naturally vary run to run;
+* a system model that combines a round deadline with measured-LTTR
+  compute scaling derives straggler *membership* from host wall-clock,
+  so even the aggregated cohort may then vary; use a virtual compute
+  base (``HeterogeneousSystem(lttr_seconds=...)``, as the built-in
+  ``straggler`` profile does) for fully deterministic scenarios,
+  sim-clock columns included.
 """
 
 from __future__ import annotations
@@ -17,18 +48,40 @@ from collections import defaultdict
 import numpy as np
 
 from ..nn.models import build_model
-from .client import ClientContext, ClientUpdate, FederatedMethod
+from .client import FederatedMethod
 from .config import FLConfig
+from .engine import ClientResult, ExecutionBackend, make_backend
 from .metrics import History, RoundRecord, evaluate
 from .parameters import ParamSet
+from .systems import ClientArrival, SystemModel, VirtualClock, make_system
 
 __all__ = ["FederatedSimulation", "run_simulation"]
 
 
 class FederatedSimulation:
-    """One (task, method, config) federated training run."""
+    """One (task, method, config) federated training run.
 
-    def __init__(self, task, method: FederatedMethod, config: FLConfig) -> None:
+    Parameters
+    ----------
+    task, method, config:
+        The federated task, the method under test, and its
+        hyper-parameters.
+    backend:
+        Execution backend instance; defaults to
+        ``make_backend(config.backend, config.workers)``.
+    system:
+        Device-behaviour model; defaults to
+        ``make_system(config.system)``.
+    """
+
+    def __init__(
+        self,
+        task,
+        method: FederatedMethod,
+        config: FLConfig,
+        backend: ExecutionBackend | None = None,
+        system: SystemModel | None = None,
+    ) -> None:
         self.task = task
         self.method = method
         self.config = config
@@ -38,42 +91,125 @@ class FederatedSimulation:
         method.setup(self.model, task, config, self.rng)
         self.global_params = ParamSet.from_module(self.model)
         self.client_states: dict[int, dict] = defaultdict(dict)
+        self._owns_backend = backend is None
+        self.backend = backend if backend is not None else make_backend(config.backend, config.workers)
+        self.system = system if system is not None else make_system(config.system)
+        self.system.bind(task, config)
+        self.clock = VirtualClock()
 
     # ------------------------------------------------------------------
-    def _select_clients(self, round_index: int) -> np.ndarray:
-        c = self.config.clients_per_round(self.task.n_clients)
-        return self.rng.choice(self.task.n_clients, size=c, replace=False)
+    def close(self) -> None:
+        """Release backend resources (worker pools); idempotent."""
+        self.backend.close()
+
+    def __enter__(self) -> "FederatedSimulation":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _system_rng(self, round_index: int) -> np.random.Generator:
+        """Per-round stream for stochastic device behaviour.
+
+        The 4-element key cannot collide with any client stream's
+        3-element ``[seed, round, client]`` key, whatever the fleet
+        size.
+        """
+        return np.random.default_rng([self.config.seed, round_index, 0x5C1, 0])
+
+    def _select_clients(self, round_index: int, available: np.ndarray) -> np.ndarray:
+        """Uniform sample of ``c`` clients from the available fleet.
+
+        The draw comes from a stream keyed by ``(seed, round)`` — not
+        from a shared generator — so selection is independent of how
+        many times any other RNG was consumed before this round.
+        """
+        rng = np.random.default_rng([self.config.seed, round_index])
+        c = min(self.config.clients_per_round(self.task.n_clients), available.size)
+        return rng.choice(available, size=c, replace=False)
 
     def _client_rng(self, round_index: int, client_id: int) -> np.random.Generator:
         return np.random.default_rng([self.config.seed, round_index, client_id])
 
+    # ------------------------------------------------------------------
+    def _simulate_arrivals(
+        self, round_index: int, results: list[ClientResult], sys_rng: np.random.Generator
+    ) -> list[ClientArrival]:
+        """Model each executed client's simulated round duration."""
+        download_bits = self.method.download_bits(self.global_params)
+        arrivals = []
+        for res in results:
+            network = self.system.network(round_index, res.client_id)
+            compute = self.system.compute_seconds(
+                round_index, res.client_id, res.lttr_seconds, sys_rng
+            )
+            arrivals.append(
+                ClientArrival(
+                    client_id=res.client_id,
+                    download_seconds=network.download_seconds(download_bits),
+                    compute_seconds=compute,
+                    upload_seconds=network.upload_seconds(res.update.upload_bits),
+                )
+            )
+        return arrivals
+
     def run_round(self, round_index: int) -> RoundRecord:
         """Execute one global round and return its measurements."""
-        selected = self._select_clients(round_index)
-        updates: list[ClientUpdate] = []
-        lttrs: list[float] = []
-        for client_id in selected:
-            client_id = int(client_id)
-            rng = self._client_rng(round_index, client_id)
-            batcher = self.task.batcher(client_id, self.config.batch_size, rng)
-            ctx = ClientContext(
-                client_id=client_id,
-                round_index=round_index,
-                global_params=self.global_params,
-                model=self.model,
-                batcher=batcher,
-                config=self.config,
-                rng=rng,
-                state=self.client_states[client_id],
-            )
-            start = time.perf_counter()
-            update = self.method.client_update(ctx)
-            lttrs.append(time.perf_counter() - start)
-            updates.append(update)
+        round_start = self.clock.now
+        sys_rng = self._system_rng(round_index)
+        available = self.system.available_clients(round_index, sys_rng)
+        selected = self._select_clients(round_index, available)
+
+        results = self.backend.run_clients(
+            self.task,
+            self.method,
+            self.model,
+            self.config,
+            self.global_params,
+            round_index,
+            selected,
+            self.client_states,
+        )
+        # Persist every executed client's state — stragglers trained
+        # locally even if their upload misses the deadline below.
+        for res in results:
+            self.client_states[res.client_id] = res.state
+
+        # --- virtual clock: schedule uploads, apply the round deadline
+        arrivals = self._simulate_arrivals(round_index, results, sys_rng)
+        totals = np.array([a.total_seconds for a in arrivals], dtype=np.float64)
+        for res, arrival in zip(results, arrivals):
+            self.clock.schedule((res, arrival), at=round_start + arrival.total_seconds)
+        deadline = self.system.round_deadline(totals)
+        if deadline is None:
+            on_time = self.clock.pop_until(round_start + float(totals.max()))
+        else:
+            on_time = self.clock.pop_until(round_start + deadline)
+            if not on_time:
+                # a server cannot close a round with zero reports: wait
+                # past an (over-tight) absolute deadline for the fastest
+                on_time = self.clock.pop_until(round_start + float(totals.min()))
+        stragglers = self.clock.drop_pending()
+        # Aggregate in *selection* order, not arrival order: arrival
+        # times derive from measured wall-clock, and floating-point
+        # summation order must not depend on host timing jitter.
+        position = {res.client_id: i for i, res in enumerate(results)}
+        included = sorted((res for res, _ in on_time), key=lambda r: position[r.client_id])
+        wait = max(a.total_seconds for _, a in on_time)
+        if stragglers and deadline is not None:
+            wait = max(wait, deadline)
+        updates = [res.update for res in included]
 
         agg_start = time.perf_counter()
         self.global_params = self.method.aggregate(round_index, self.global_params, updates)
         agg_seconds = time.perf_counter() - agg_start
+        # the virtual clock stays purely virtual (download + compute +
+        # upload): folding in the host-measured agg_seconds would make
+        # sim columns nondeterministic.  Aggregation cost is recorded
+        # separately; comm.timing.round_timings adds it for the paper's
+        # TTA composition.
+        self.clock.advance_to(round_start + wait)
 
         weights = np.array([u.payload.weight for u in updates], dtype=np.float64)
         losses = np.array([u.mean_loss for u in updates], dtype=np.float64)
@@ -95,24 +231,44 @@ class FederatedSimulation:
             upload_bits_total=int(upload_bits.sum()),
             download_bits_per_client=self.method.download_bits(self.global_params),
             n_selected=len(updates),
-            lttr_seconds_mean=float(np.mean(lttrs)),
+            lttr_seconds_mean=float(np.mean([res.lttr_seconds for res in included])),
             aggregation_seconds=agg_seconds,
+            n_scheduled=len(results),
+            n_stragglers=len(stragglers),
+            sim_round_seconds=self.clock.now - round_start,
+            sim_clock_seconds=self.clock.now,
         )
 
     def run(self, progress: bool = False) -> History:
         """Run all rounds; returns the per-round history."""
         history = History(method=self.method.name, task=self.task.name)
-        for round_index in range(1, self.config.rounds + 1):
-            record = self.run_round(round_index)
-            history.append(record)
-            if progress:  # pragma: no cover - console convenience
-                print(
-                    f"[{self.method.name}/{self.task.name}] round {round_index:3d} "
-                    f"loss={record.train_loss:.4f} acc={record.test_accuracy:.4f}"
-                )
+        try:
+            for round_index in range(1, self.config.rounds + 1):
+                record = self.run_round(round_index)
+                history.append(record)
+                if progress:  # pragma: no cover - console convenience
+                    print(
+                        f"[{self.method.name}/{self.task.name}] round {round_index:3d} "
+                        f"loss={record.train_loss:.4f} acc={record.test_accuracy:.4f} "
+                        f"clients={record.n_selected}/{record.n_scheduled} "
+                        f"t_sim={record.sim_clock_seconds:.1f}s"
+                    )
+        finally:
+            # only tear down pools we created; a caller-provided backend
+            # may be shared across several runs
+            if self._owns_backend:
+                self.close()
         return history
 
 
-def run_simulation(task, method: FederatedMethod, config: FLConfig, progress: bool = False) -> History:
+def run_simulation(
+    task,
+    method: FederatedMethod,
+    config: FLConfig,
+    progress: bool = False,
+    backend: ExecutionBackend | None = None,
+    system: SystemModel | None = None,
+) -> History:
     """Convenience wrapper: construct and run a simulation."""
-    return FederatedSimulation(task, method, config).run(progress=progress)
+    sim = FederatedSimulation(task, method, config, backend=backend, system=system)
+    return sim.run(progress=progress)

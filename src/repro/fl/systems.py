@@ -1,0 +1,308 @@
+"""Virtual-clock system simulation: availability, latency, stragglers.
+
+Real federated deployments are dominated by *system* heterogeneity —
+devices come and go, compute at different speeds, and sit behind very
+different links.  This module adds that layer to the simulation without
+touching the learning code:
+
+* :class:`VirtualClock` — a priority-queue event clock.  Client uploads
+  are scheduled at their simulated arrival time; the server pops events
+  until its round deadline and advances the clock to the time the round
+  actually closed.  Rounds therefore cost *simulated* seconds (derived
+  from measured LTTR and the modeled link), not host wall-clock.
+* :class:`SystemModel` — pluggable per-client device behaviour:
+  availability (which clients can be selected this round), compute
+  latency (scaling each client's measured LTTR by a per-device speed
+  factor), network bandwidth (a per-client
+  :class:`~repro.comm.network.NetworkModel` feeding
+  :mod:`repro.comm.timing`), and a round deadline after which late
+  clients are dropped from aggregation (stragglers).
+
+Profiles are registered in :data:`DEVICE_PROFILES` and selected by name
+through ``FLConfig.system`` or ``experiments.cli run --device-profile``.
+
+All stochastic device behaviour draws from RNG streams derived from
+``(seed, round)`` — never from execution order — so a scenario is
+reproducible across execution backends and worker counts.  One caveat:
+a system that both scales *measured* LTTR (the default) and sets a
+round deadline makes straggler membership depend on host timing
+jitter, so the aggregated cohort can differ run to run.  Pass
+``HeterogeneousSystem(lttr_seconds=...)`` to pin local compute to a
+virtual constant and make such scenarios fully deterministic (the
+built-in ``straggler`` profile does this).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..comm.network import TMOBILE_5G, NetworkModel
+
+__all__ = [
+    "VirtualClock",
+    "ClientArrival",
+    "SystemModel",
+    "IdealSystem",
+    "HeterogeneousSystem",
+    "DEVICE_PROFILES",
+    "SYSTEM_NAMES",
+    "make_system",
+]
+
+
+class VirtualClock:
+    """A simulated clock with a priority queue of timed events.
+
+    The queue orders payloads by their scheduled time (ties broken by
+    insertion order, keeping pops deterministic).  Time only moves
+    forward; :meth:`advance_to` on a past instant is a no-op guard.
+    """
+
+    def __init__(self) -> None:
+        self._time = 0.0
+        self._heap: list[tuple[float, int, object]] = []
+        self._counter = 0
+
+    @property
+    def now(self) -> float:
+        return self._time
+
+    def schedule(self, payload, at: float) -> None:
+        """Enqueue ``payload`` to arrive at absolute time ``at``."""
+        if at < self._time:
+            raise ValueError(f"cannot schedule in the past ({at} < {self._time})")
+        heapq.heappush(self._heap, (float(at), self._counter, payload))
+        self._counter += 1
+
+    def pop_until(self, t: float) -> list:
+        """Pop every payload scheduled at or before ``t``, in time order."""
+        out = []
+        while self._heap and self._heap[0][0] <= t:
+            out.append(heapq.heappop(self._heap)[2])
+        return out
+
+    def drop_pending(self) -> list:
+        """Discard (and return) every event still in the queue."""
+        out = [item[2] for item in sorted(self._heap)]
+        self._heap.clear()
+        return out
+
+    def advance_to(self, t: float) -> None:
+        """Move the clock forward to absolute time ``t`` (never back)."""
+        self._time = max(self._time, float(t))
+
+    def advance(self, dt: float) -> None:
+        """Move the clock forward by ``dt`` simulated seconds."""
+        if dt < 0:
+            raise ValueError("cannot advance the clock backwards")
+        self._time += float(dt)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+@dataclass(frozen=True)
+class ClientArrival:
+    """Simulated timing decomposition of one client's round."""
+
+    client_id: int
+    download_seconds: float
+    compute_seconds: float
+    upload_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.download_seconds + self.compute_seconds + self.upload_seconds
+
+
+class SystemModel:
+    """Device-behaviour interface consumed by the simulation.
+
+    Subclasses override any of the four hooks; the base class is the
+    ideal system (everyone available, measured latency, the paper's 5G
+    link, no deadline).  :meth:`bind` is called once per simulation with
+    the task and config so models can derive per-client traits
+    deterministically from ``config.seed``.
+    """
+
+    name = "ideal"
+
+    def __init__(self) -> None:
+        self.task = None
+        self.config = None
+
+    def bind(self, task, config) -> None:
+        self.task = task
+        self.config = config
+
+    # -- hooks ----------------------------------------------------------
+    def available_clients(self, round_index: int, rng: np.random.Generator) -> np.ndarray:
+        """Client ids selectable this round (never empty)."""
+        return np.arange(self.task.n_clients)
+
+    def compute_seconds(
+        self, round_index: int, client_id: int, measured_lttr: float, rng: np.random.Generator
+    ) -> float:
+        """Simulated local-training time; default = measured LTTR."""
+        return measured_lttr
+
+    def network(self, round_index: int, client_id: int) -> NetworkModel:
+        """The client's link for this round."""
+        return TMOBILE_5G
+
+    def round_deadline(self, arrival_seconds: np.ndarray) -> float | None:
+        """Cutoff (seconds after round start) past which clients are
+        dropped as stragglers; ``None`` waits for everyone.
+
+        ``arrival_seconds`` holds every scheduled client's total round
+        duration, letting relative deadlines anchor on the cohort.
+        """
+        return None
+
+
+class IdealSystem(SystemModel):
+    """No system heterogeneity — the historical simulation behaviour."""
+
+    name = "ideal"
+
+
+class HeterogeneousSystem(SystemModel):
+    """Log-normal device speeds, scaled bandwidth, Bernoulli availability.
+
+    Per-client traits are drawn once in :meth:`bind` from
+    ``default_rng([seed, 0x51D5])``:
+
+    * ``speed`` — multiplies the measured LTTR (1.0 = as fast as the
+      simulating host; log-normal with ``sigma = log(speed_spread)/2``);
+    * ``bandwidth`` — divides both link rates of ``base_network``
+      (log-normal with ``sigma = log(bandwidth_spread)/2``).
+
+    Parameters
+    ----------
+    availability:
+        Per-round probability that a client is selectable.  If a draw
+        leaves nobody available the round falls back to one uniformly
+        chosen client (a server cannot run an empty round).
+    speed_spread, bandwidth_spread:
+        Heterogeneity width; ``1.0`` disables that axis.
+    deadline_factor:
+        Round deadline as a multiple of the *fastest* scheduled
+        client's finish time; clients beyond it are stragglers.  A
+        relative deadline keeps scenarios host-speed independent and
+        guarantees at least one client always reports.
+    deadline_seconds:
+        Absolute deadline alternative (applied after, and capped by,
+        ``deadline_factor`` when both are set).
+    lttr_seconds:
+        When set, local compute is ``lttr_seconds * speed`` — a fully
+        virtual, run-to-run deterministic quantity.  When ``None``
+        (default), the client's *measured* LTTR is scaled instead:
+        realistic magnitudes, but under a deadline the straggler set
+        then inherits host timing jitter.
+    """
+
+    name = "heterogeneous"
+
+    def __init__(
+        self,
+        availability: float = 1.0,
+        speed_spread: float = 4.0,
+        bandwidth_spread: float = 2.0,
+        deadline_factor: float | None = None,
+        deadline_seconds: float | None = None,
+        base_network: NetworkModel = TMOBILE_5G,
+        lttr_seconds: float | None = None,
+    ) -> None:
+        super().__init__()
+        if not 0.0 < availability <= 1.0:
+            raise ValueError("availability must be in (0, 1]")
+        if speed_spread < 1.0 or bandwidth_spread < 1.0:
+            raise ValueError("spreads must be >= 1")
+        if deadline_factor is not None and deadline_factor < 1.0:
+            raise ValueError("deadline_factor must be >= 1")
+        self.availability = availability
+        self.speed_spread = speed_spread
+        self.bandwidth_spread = bandwidth_spread
+        if lttr_seconds is not None and lttr_seconds <= 0:
+            raise ValueError("lttr_seconds must be positive")
+        self.deadline_factor = deadline_factor
+        self.deadline_seconds = deadline_seconds
+        self.base_network = base_network
+        self.lttr_seconds = lttr_seconds
+        self._speed: np.ndarray | None = None
+        self._networks: list[NetworkModel] = []
+
+    def bind(self, task, config) -> None:
+        super().bind(task, config)
+        rng = np.random.default_rng([config.seed, 0x51D5])
+        n = task.n_clients
+        self._speed = np.exp(rng.normal(0.0, np.log(self.speed_spread) / 2.0, size=n))
+        bw = np.exp(rng.normal(0.0, np.log(self.bandwidth_spread) / 2.0, size=n))
+        self._networks = [
+            NetworkModel(
+                downlink_mbps=self.base_network.downlink_mbps / b,
+                uplink_mbps=self.base_network.uplink_mbps / b,
+                latency_seconds=self.base_network.latency_seconds,
+            )
+            for b in bw
+        ]
+
+    def available_clients(self, round_index: int, rng: np.random.Generator) -> np.ndarray:
+        n = self.task.n_clients
+        if self.availability >= 1.0:
+            return np.arange(n)
+        up = rng.random(n) < self.availability
+        if not up.any():
+            return np.array([rng.integers(n)])
+        return np.flatnonzero(up)
+
+    def compute_seconds(self, round_index, client_id, measured_lttr, rng) -> float:
+        base = self.lttr_seconds if self.lttr_seconds is not None else measured_lttr
+        return base * float(self._speed[client_id])
+
+    def network(self, round_index: int, client_id: int) -> NetworkModel:
+        return self._networks[client_id]
+
+    def round_deadline(self, arrival_seconds: np.ndarray) -> float | None:
+        cutoff = None
+        if self.deadline_factor is not None and arrival_seconds.size:
+            cutoff = self.deadline_factor * float(arrival_seconds.min())
+        if self.deadline_seconds is not None:
+            cutoff = self.deadline_seconds if cutoff is None else min(cutoff, self.deadline_seconds)
+        return cutoff
+
+
+#: Named device profiles selectable via ``FLConfig.system``.
+DEVICE_PROFILES: dict[str, Callable[[], SystemModel]] = {
+    "ideal": IdealSystem,
+    # mild heterogeneity, everyone waits for everyone
+    "heterogeneous": lambda: HeterogeneousSystem(speed_spread=4.0, bandwidth_spread=2.0),
+    # flaky fleet: a third of the fleet offline each round
+    "flaky": lambda: HeterogeneousSystem(
+        availability=0.7, speed_spread=4.0, bandwidth_spread=2.0
+    ),
+    # wide speed spread + a deadline at 1.5x the fastest client: slow
+    # devices become stragglers and are dropped from aggregation.
+    # lttr_seconds pins compute to virtual time so the straggler set is
+    # identical across hosts, backends, and reruns.
+    "straggler": lambda: HeterogeneousSystem(
+        speed_spread=8.0, bandwidth_spread=4.0, deadline_factor=1.5, lttr_seconds=1.0
+    ),
+}
+
+SYSTEM_NAMES = tuple(DEVICE_PROFILES)
+
+
+def make_system(name: str) -> SystemModel:
+    """Build a device profile from its registry name."""
+    try:
+        factory = DEVICE_PROFILES[name]
+    except KeyError:
+        raise ValueError(f"unknown system profile {name!r}; choose from {SYSTEM_NAMES}") from None
+    model = factory()
+    model.name = name
+    return model

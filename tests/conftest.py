@@ -77,6 +77,33 @@ def tiny_text_task() -> FederatedTask:
     return make_tiny_text_task()
 
 
+@pytest.fixture(scope="session")
+def session_image_task() -> FederatedTask:
+    """Session-scoped tiny image task for integration tests.
+
+    Tasks are read-only during simulation (client shards are indexed,
+    never written), so sharing one instance across the whole session is
+    safe and skips rebuilding the data per test.
+    """
+    return make_tiny_image_task(n_clients=6)
+
+
+@pytest.fixture(scope="session")
+def session_config() -> FLConfig:
+    """Small-run config (few rounds/clients) shared across the session."""
+    return FLConfig(
+        rounds=2,
+        kappa=0.5,
+        local_iterations=6,
+        batch_size=10,
+        lr=0.3,
+        dropout_rate=0.4,
+        tau=2,
+        seed=0,
+        eval_every=1,
+    )
+
+
 @pytest.fixture
 def fast_config() -> FLConfig:
     return FLConfig(

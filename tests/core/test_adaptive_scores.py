@@ -62,6 +62,69 @@ class TestLossTrendTracker:
         assert t.losses == [1.0, 2.0]
         assert t.iterations == 2
 
+    @pytest.mark.parametrize("tau", [1, 2, 3, 5])
+    def test_first_judgment_point_is_exactly_two_tau(self, tau):
+        t = LossTrendTracker(tau=tau)
+        for v in range(1, 2 * tau):
+            t.record(1.0)
+            assert not t.is_judgment_point(), f"fired early at v={v}"
+        t.record(1.0)  # v == 2 * tau: both windows exist for the first time
+        assert t.is_judgment_point()
+
+    def test_boundary_between_judgment_points(self):
+        # tau=3: after v=6 fires, v=7 and v=8 must not (v % tau != 0)
+        t = LossTrendTracker(tau=3)
+        for _ in range(6):
+            t.record(1.0)
+        assert t.is_judgment_point()
+        t.record(1.0)
+        assert not t.is_judgment_point()
+        t.record(1.0)
+        assert not t.is_judgment_point()
+
+    def test_delta_at_exact_boundary_uses_disjoint_windows(self):
+        # at v == 2*tau the two windows tile the whole record exactly
+        t = LossTrendTracker(tau=3)
+        for loss in (6.0, 5.0, 4.0, 3.0, 2.0, 1.0):
+            t.record(loss)
+        # mean(3,2,1) - mean(6,5,4)
+        assert t.delta() == pytest.approx(2.0 - 5.0)
+
+    def test_delta_one_before_boundary_raises(self):
+        t = LossTrendTracker(tau=2)
+        for _ in range(3):  # v = 2*tau - 1
+            t.record(1.0)
+        with pytest.raises(RuntimeError):
+            t.delta()
+
+    def test_tau_one_judges_every_iteration_from_two(self):
+        t = LossTrendTracker(tau=1)
+        t.record(3.0)
+        assert not t.is_judgment_point()
+        t.record(5.0)
+        assert t.is_judgment_point()
+        assert t.delta() == pytest.approx(2.0)
+
+    def test_window_mean_uses_last_tau_only(self):
+        t = LossTrendTracker(tau=3)
+        for loss in (100.0, 100.0, 1.0, 2.0, 3.0):
+            t.record(loss)
+        assert t.window_mean() == pytest.approx(2.0)
+
+    def test_window_mean_with_fewer_than_tau_losses(self):
+        # the [-tau:] slice degrades gracefully to all recorded losses
+        t = LossTrendTracker(tau=4)
+        t.record(2.0)
+        t.record(4.0)
+        assert t.window_mean() == pytest.approx(3.0)
+
+    def test_delta_uses_most_recent_windows_after_boundary(self):
+        # v=6, tau=2: windows are (5,6) and (3,4), ignoring (1,2)
+        t = LossTrendTracker(tau=2)
+        for loss in (50.0, 50.0, 4.0, 2.0, 1.0, 1.0):
+            t.record(loss)
+        assert t.delta() == pytest.approx(1.0 - 3.0)
+
 
 class TestWeightScores:
     def test_improving_increments_held(self):

@@ -1,0 +1,15 @@
+"""Fixtures for the experiments tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import set_default_execution
+
+
+@pytest.fixture(autouse=True)
+def _reset_execution_defaults():
+    """cli.main() sets process-wide execution defaults; clear them so no
+    test leaks a backend/device profile into later run_experiment calls."""
+    yield
+    set_default_execution()

@@ -41,3 +41,24 @@ class TestMain:
     def test_unknown_dataset_list_rejected(self):
         with pytest.raises(SystemExit):
             main(["table1", "--datasets", "imagenet"])
+
+    def test_run_with_device_profile(self, capsys):
+        code = main(
+            ["run", "mnist", "fedavg", "--rounds", "2", "--device-profile", "straggler"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sim clock" in out and "participation" in out
+        assert "per-round participation [straggler]" in out
+
+    def test_workers_implies_process_backend(self, capsys):
+        from repro.experiments.runner import _EXECUTION_DEFAULTS
+
+        code = main(["run", "mnist", "fedavg", "--rounds", "2", "--workers", "2"])
+        assert code == 0
+        assert _EXECUTION_DEFAULTS.get("backend") == "process"
+        assert _EXECUTION_DEFAULTS.get("workers") == 2
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "mnist", "fedavg", "--workers", "-1"])

@@ -1,0 +1,208 @@
+"""Tests for the virtual clock and system models (repro.fl.systems)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.fedavg import FedAvg
+from repro.comm.network import NetworkModel
+from repro.comm.timing import simulated_seconds, simulated_time_to_accuracy
+from repro.fl.config import FLConfig
+from repro.fl.simulation import run_simulation
+from repro.fl.systems import (
+    DEVICE_PROFILES,
+    HeterogeneousSystem,
+    IdealSystem,
+    VirtualClock,
+    make_system,
+)
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_pop_until_returns_time_ordered(self):
+        clock = VirtualClock()
+        clock.schedule("b", at=2.0)
+        clock.schedule("a", at=1.0)
+        clock.schedule("c", at=3.0)
+        assert clock.pop_until(2.5) == ["a", "b"]
+        assert len(clock) == 1
+
+    def test_ties_break_by_insertion_order(self):
+        clock = VirtualClock()
+        clock.schedule("first", at=1.0)
+        clock.schedule("second", at=1.0)
+        assert clock.pop_until(1.0) == ["first", "second"]
+
+    def test_drop_pending_clears_queue(self):
+        clock = VirtualClock()
+        clock.schedule("x", at=5.0)
+        clock.schedule("y", at=4.0)
+        assert clock.drop_pending() == ["y", "x"]
+        assert len(clock) == 0
+
+    def test_schedule_in_past_rejected(self):
+        clock = VirtualClock()
+        clock.advance(10.0)
+        with pytest.raises(ValueError):
+            clock.schedule("late", at=5.0)
+
+    def test_advance_never_goes_backwards(self):
+        clock = VirtualClock()
+        clock.advance(5.0)
+        clock.advance_to(3.0)  # no-op guard
+        assert clock.now == 5.0
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+
+
+class _Task:
+    """Minimal stand-in exposing what SystemModel.bind reads."""
+
+    n_clients = 8
+
+
+class TestSystemModels:
+    def test_registry_profiles(self):
+        for name in DEVICE_PROFILES:
+            model = make_system(name)
+            assert model.name == name
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError):
+            make_system("datacenter")
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            HeterogeneousSystem(availability=0.0)
+        with pytest.raises(ValueError):
+            HeterogeneousSystem(speed_spread=0.5)
+        with pytest.raises(ValueError):
+            HeterogeneousSystem(deadline_factor=0.5)
+
+    def test_ideal_system_is_transparent(self):
+        system = IdealSystem()
+        system.bind(_Task(), FLConfig())
+        rng = np.random.default_rng(0)
+        np.testing.assert_array_equal(
+            system.available_clients(1, rng), np.arange(8)
+        )
+        assert system.compute_seconds(1, 3, 0.25, rng) == 0.25
+        assert system.round_deadline(np.array([1.0, 2.0])) is None
+
+    def test_traits_deterministic_given_seed(self):
+        a = HeterogeneousSystem(speed_spread=4.0)
+        b = HeterogeneousSystem(speed_spread=4.0)
+        a.bind(_Task(), FLConfig(seed=7))
+        b.bind(_Task(), FLConfig(seed=7))
+        np.testing.assert_array_equal(a._speed, b._speed)
+
+    def test_speed_scales_measured_lttr(self):
+        system = HeterogeneousSystem(speed_spread=4.0)
+        system.bind(_Task(), FLConfig())
+        rng = np.random.default_rng(0)
+        assert system.compute_seconds(1, 2, 1.0, rng) == pytest.approx(
+            float(system._speed[2])
+        )
+
+    def test_availability_fallback_never_empty(self):
+        system = HeterogeneousSystem(availability=1e-9)
+        system.bind(_Task(), FLConfig())
+        available = system.available_clients(1, np.random.default_rng(0))
+        assert available.size >= 1
+
+    def test_bandwidth_divides_link_rates(self):
+        base = NetworkModel(downlink_mbps=100.0, uplink_mbps=10.0)
+        system = HeterogeneousSystem(bandwidth_spread=4.0, base_network=base)
+        system.bind(_Task(), FLConfig())
+        for cid in range(8):
+            net = system.network(1, cid)
+            assert net.downlink_mbps / net.uplink_mbps == pytest.approx(10.0)
+
+    def test_relative_deadline_anchors_on_fastest(self):
+        system = HeterogeneousSystem(deadline_factor=2.0)
+        system.bind(_Task(), FLConfig())
+        assert system.round_deadline(np.array([3.0, 1.0, 9.0])) == pytest.approx(2.0)
+
+    def test_absolute_deadline_caps_relative(self):
+        system = HeterogeneousSystem(deadline_factor=2.0, deadline_seconds=1.5)
+        system.bind(_Task(), FLConfig())
+        assert system.round_deadline(np.array([1.0, 5.0])) == pytest.approx(1.5)
+
+
+class TestSystemSimulation:
+    def test_ideal_run_populates_sim_columns(self, session_image_task, session_config):
+        history = run_simulation(session_image_task, FedAvg(), session_config)
+        clock = history.series("sim_clock_seconds")
+        assert np.all(np.diff(clock) > 0)  # strictly increasing
+        assert np.all(history.participation() == 1.0)
+        assert history.total_sim_seconds == pytest.approx(float(clock[-1]))
+        assert np.all(history.series("n_scheduled") == history.series("n_selected"))
+
+    def test_straggler_scenario_drops_clients(self, session_image_task, session_config):
+        cfg = session_config.with_overrides(rounds=4, seed=1)
+        # lttr_seconds makes straggler membership virtual-time only, so
+        # this scenario is identical on any host or backend
+        system = HeterogeneousSystem(
+            speed_spread=8.0, bandwidth_spread=4.0, deadline_factor=1.2, lttr_seconds=1.0
+        )
+        history = run_simulation(session_image_task, FedAvg(), cfg, system=system)
+        stragglers = history.series("n_stragglers")
+        assert stragglers.sum() > 0
+        assert np.all(history.series("n_selected") >= 1)
+        assert np.all(
+            history.series("n_selected") + stragglers == history.series("n_scheduled")
+        )
+
+    def test_straggler_profile_deterministic_across_runs(
+        self, session_image_task, session_config
+    ):
+        cfg = session_config.with_overrides(system="straggler", rounds=3)
+        h1 = run_simulation(session_image_task, FedAvg(), cfg)
+        h2 = run_simulation(session_image_task, FedAvg(), cfg)
+        np.testing.assert_array_equal(h1.series("n_selected"), h2.series("n_selected"))
+        np.testing.assert_array_equal(h1.series("n_stragglers"), h2.series("n_stragglers"))
+        np.testing.assert_array_equal(h1.series("train_loss"), h2.series("train_loss"))
+        # the clock is purely virtual (no host-measured terms), so it is
+        # exactly reproducible
+        np.testing.assert_array_equal(
+            h1.series("sim_clock_seconds"), h2.series("sim_clock_seconds")
+        )
+
+    def test_virtual_lttr_must_be_positive(self):
+        with pytest.raises(ValueError):
+            HeterogeneousSystem(lttr_seconds=0.0)
+
+    def test_system_results_identical_across_backends(
+        self, session_image_task, session_config
+    ):
+        from repro.fl.engine import ProcessPoolBackend, SerialBackend
+
+        cfg = session_config.with_overrides(system="flaky")
+        serial = run_simulation(
+            session_image_task, FedAvg(), cfg, backend=SerialBackend()
+        )
+        with ProcessPoolBackend(workers=2) as backend:
+            pooled = run_simulation(session_image_task, FedAvg(), cfg, backend=backend)
+        np.testing.assert_array_equal(
+            serial.series("train_loss"), pooled.series("train_loss")
+        )
+        np.testing.assert_array_equal(
+            serial.series("n_scheduled"), pooled.series("n_scheduled")
+        )
+
+    def test_simulated_tta_reads_clock_column(self, session_image_task, session_config):
+        history = run_simulation(session_image_task, FedAvg(), session_config)
+        assert simulated_seconds(history) > 0
+        # an unreachable target yields None; a trivial one the first eval round
+        assert simulated_time_to_accuracy(history, 2.0) is None
+        trivial = simulated_time_to_accuracy(history, -1.0)
+        assert trivial == pytest.approx(history.records[0].sim_clock_seconds)
+
+    def test_flaky_profile_still_selects_cohort(self, session_image_task, session_config):
+        cfg = session_config.with_overrides(system="flaky", rounds=3)
+        history = run_simulation(session_image_task, FedAvg(), cfg)
+        assert np.all(history.series("n_selected") >= 1)
