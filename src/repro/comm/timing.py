@@ -13,12 +13,18 @@ Two time bases coexist:
 * :func:`round_timings`/:func:`time_to_accuracy` model time *post hoc*
   from a history's mean LTTR/bit counts and a single
   :class:`~repro.comm.network.NetworkModel` — the paper's Fig. 7
-  methodology;
+  methodology.  This composition assumes the synchronous barrier
+  ("slowest client's local time plus its transfers"), so it does not
+  apply to async (FedBuff-style) histories;
 * :func:`simulated_time_to_accuracy`/:func:`simulated_seconds` read the
   per-round virtual-clock columns that
   :class:`~repro.fl.systems.SystemModel` runs record (heterogeneous
-  links, per-client speeds, straggler deadlines) — preferred whenever
-  ``History.sim_clock_seconds`` is populated.
+  links, per-client speeds, straggler deadlines, async buffer flushes)
+  — preferred whenever ``History.sim_clock_seconds`` is populated, and
+  the only valid basis for ``mode="async"`` runs;
+* :func:`preferred_time_to_accuracy` dispatches between the two, which
+  is what lets Fig. 7-style TTA curves be regenerated in both modes
+  from the same call site.
 """
 
 from __future__ import annotations
@@ -37,6 +43,7 @@ __all__ = [
     "time_to_accuracy",
     "simulated_seconds",
     "simulated_time_to_accuracy",
+    "preferred_time_to_accuracy",
 ]
 
 
@@ -119,3 +126,22 @@ def simulated_time_to_accuracy(history: History, target_accuracy: float) -> floa
         if np.isfinite(record.test_accuracy) and record.test_accuracy >= target_accuracy:
             return float(record.sim_clock_seconds)
     return None
+
+
+def preferred_time_to_accuracy(
+    history: History,
+    target_accuracy: float,
+    network: NetworkModel = TMOBILE_5G,
+) -> float | None:
+    """TTA on the best available time basis for this history.
+
+    Histories carrying virtual-clock data (every system-model run, and
+    *all* async runs — the post-hoc barrier model does not apply to
+    them) are read through :func:`simulated_time_to_accuracy`; legacy
+    histories without it fall back to the post-hoc sync composition of
+    :func:`time_to_accuracy`.  ``None`` means the target was never
+    reached.
+    """
+    if history.total_sim_seconds > 0.0:
+        return simulated_time_to_accuracy(history, target_accuracy)
+    return time_to_accuracy(history, target_accuracy, network)

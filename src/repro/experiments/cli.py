@@ -12,14 +12,18 @@ Usage::
     python -m repro.experiments.cli run mnist fedbiad --rounds 20
     python -m repro.experiments.cli run mnist fedbiad --backend process --workers 4
     python -m repro.experiments.cli run mnist fedbiad --device-profile straggler
+    python -m repro.experiments.cli run mnist fedbiad --mode async --buffer-size 2
 
 The ``run`` subcommand executes a single (task, method) simulation and
 prints its summary — handy for interactive exploration.
 
 Every subcommand accepts ``--backend serial|process`` (with
-``--workers N``) to pick the execution engine, and ``--device-profile``
+``--workers N``) to pick the execution engine, ``--device-profile``
 to run under a system model (``ideal``, ``heterogeneous``, ``flaky``,
-``straggler``); see :mod:`repro.fl.engine` and :mod:`repro.fl.systems`.
+``straggler``), and ``--mode sync|async`` (with ``--buffer-size N``)
+to choose between barrier rounds and FedBuff-style buffered async
+aggregation; see :mod:`repro.fl.engine`, :mod:`repro.fl.systems` and
+:mod:`repro.fl.async_aggregation`.
 """
 
 from __future__ import annotations
@@ -56,6 +60,12 @@ def _add_execution_flags(p: argparse.ArgumentParser) -> None:
                    help="process-pool size (0 = all cores); implies --backend process")
     p.add_argument("--device-profile", default=None, choices=SYSTEM_NAMES,
                    help="system model for device heterogeneity")
+    p.add_argument("--mode", default=None, choices=("sync", "async"),
+                   help="server discipline: barrier rounds or FedBuff-style "
+                        "buffered async aggregation")
+    p.add_argument("--buffer-size", type=_nonnegative_int, default=None,
+                   help="async uploads per flush (0 = cohort size); "
+                        "implies --mode async")
 
 
 def _dataset_list(raw: str | None, default: tuple[str, ...]) -> tuple[str, ...]:
@@ -106,10 +116,16 @@ def main(argv: list[str] | None = None) -> int:
     workers = getattr(args, "workers", None)
     if workers is not None and backend is None:
         backend = "process"  # --workers only means anything to the pool
+    mode = getattr(args, "mode", None)
+    buffer_size = getattr(args, "buffer_size", None)
+    if buffer_size is not None and mode is None:
+        mode = "async"  # --buffer-size only means anything to the buffer
     set_default_execution(
         backend=backend,
         workers=workers,
         system=getattr(args, "device_profile", None),
+        mode=mode,
+        buffer_size=buffer_size,
     )
 
     if args.command == "table1":
@@ -150,6 +166,8 @@ def main(argv: list[str] | None = None) -> int:
             f", sim clock {result.sim_seconds:.3g}s"
             f", participation {100 * result.participation:.0f}%"
         )
+        if mode == "async":
+            line += f", mean staleness {result.history.mean_staleness():.2f}"
         print(line)
         if args.device_profile not in (None, "ideal"):
             per_round = ", ".join(

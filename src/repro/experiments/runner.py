@@ -14,14 +14,14 @@ import numpy as np
 
 from ..baselines.registry import METHOD_NAMES, make_method
 from ..comm.network import TMOBILE_5G
-from ..comm.timing import lttr_seconds, time_to_accuracy
+from ..comm.timing import lttr_seconds, preferred_time_to_accuracy, time_to_accuracy
 from ..compression.registry import COMPRESSOR_NAMES, make_sketched
 from ..data.registry import make_task
 from ..fl.client import FederatedMethod
 from ..fl.config import FLConfig
 from ..fl.metrics import History
 from ..fl.parameters import ParamSet
-from ..fl.simulation import FederatedSimulation
+from ..fl.simulation import run_simulation
 from ..fl.sizing import dense_bits
 from ..nn.models import build_model
 from .configs import ExperimentPreset, preset_for
@@ -49,6 +49,8 @@ def set_default_execution(
     backend: str | None = None,
     workers: int | None = None,
     system: str | None = None,
+    mode: str | None = None,
+    buffer_size: int | None = None,
 ) -> None:
     """Set process-wide execution defaults (``None`` leaves FLConfig's)."""
     _EXECUTION_DEFAULTS.clear()
@@ -58,6 +60,10 @@ def set_default_execution(
         _EXECUTION_DEFAULTS["workers"] = workers
     if system is not None:
         _EXECUTION_DEFAULTS["system"] = system
+    if mode is not None:
+        _EXECUTION_DEFAULTS["mode"] = mode
+    if buffer_size is not None:
+        _EXECUTION_DEFAULTS["buffer_size"] = buffer_size
 
 
 @dataclass
@@ -81,7 +87,22 @@ class RunResult:
         return self.dense_bits / self.upload_bits
 
     def tta(self, target: float, network=TMOBILE_5G) -> float | None:
+        """Time-to-accuracy on the basis valid for this run's mode.
+
+        Sync histories use the paper's post-hoc barrier composition
+        (Fig. 7 methodology); async histories *must* read the virtual
+        clock — the barrier model does not describe buffer flushes —
+        so Fig. 7/8-style regeneration stays correct under
+        ``--mode async`` with no caller changes.
+        """
+        if self.history.is_async:
+            return preferred_time_to_accuracy(self.history, target, network)
         return time_to_accuracy(self.history, target, network)
+
+    def sim_tta(self, target: float, network=TMOBILE_5G) -> float | None:
+        """TTA on the preferred basis (virtual clock when available) —
+        the one valid for both sync and async histories."""
+        return preferred_time_to_accuracy(self.history, target, network)
 
 
 def resolve_method(spec: str, preset: ExperimentPreset | None = None, **kwargs) -> FederatedMethod:
@@ -124,17 +145,26 @@ def run_experiment(
     backend: str | None = None,
     workers: int | None = None,
     system: str | None = None,
+    mode: str | None = None,
+    buffer_size: int | None = None,
 ) -> RunResult:
     """Run (or fetch from cache) one federated simulation.
 
-    ``backend``/``workers``/``system`` select the execution backend and
-    device profile; unset values fall back to ``config_overrides``, then
-    to :func:`set_default_execution`, then to ``FLConfig`` defaults.
+    ``backend``/``workers``/``system``/``mode``/``buffer_size`` select
+    the execution backend, device profile and server discipline; unset
+    values fall back to ``config_overrides``, then to
+    :func:`set_default_execution`, then to ``FLConfig`` defaults.
     """
     preset = preset_for(task_name, scale)
     overrides = dict(_EXECUTION_DEFAULTS)
     overrides.update(config_overrides or {})
-    for name, value in (("backend", backend), ("workers", workers), ("system", system)):
+    for name, value in (
+        ("backend", backend),
+        ("workers", workers),
+        ("system", system),
+        ("mode", mode),
+        ("buffer_size", buffer_size),
+    ):
         if value is not None:
             overrides[name] = value
     fl: FLConfig = preset.fl.with_overrides(seed=seed, **overrides)
@@ -145,7 +175,7 @@ def run_experiment(
 
     task = cached_task(task_name, preset.scale, preset.data_seed)
     method = resolve_method(method_spec, preset, **(method_kwargs or {}))
-    history = FederatedSimulation(task, method, fl).run()
+    history = run_simulation(task, method, fl)
     result = RunResult(
         task_name=task_name,
         method_spec=method_spec,

@@ -1,7 +1,15 @@
 """Federated-learning simulation substrate."""
 
 from .aggregation import AGGREGATION_MODES, ClientPayload, aggregate
-from .checkpoints import load_history, load_params, save_history, save_params
+from .async_aggregation import ASYNC_VIRTUAL_LTTR_SECONDS, AsyncFederatedSimulation
+from .checkpoints import (
+    load_history,
+    load_params,
+    restore_checkpoint,
+    save_checkpoint,
+    save_history,
+    save_params,
+)
 from .client import ClientContext, ClientUpdate, FederatedMethod, run_local_sgd
 from .config import FLConfig
 from .engine import (
@@ -44,8 +52,12 @@ __all__ = [
     "AGGREGATION_MODES",
     "ClientPayload",
     "aggregate",
+    "ASYNC_VIRTUAL_LTTR_SECONDS",
+    "AsyncFederatedSimulation",
     "load_history",
     "load_params",
+    "restore_checkpoint",
+    "save_checkpoint",
     "save_history",
     "save_params",
     "ClientContext",

@@ -1,13 +1,18 @@
-"""Persistence for global models and run histories.
+"""Persistence for global models, run histories, and live simulations.
 
 A production FL deployment checkpoints the global model every few rounds
 and archives per-round metrics; this module provides both as plain
-``.npz``/``.json`` files with no extra dependencies.
+``.npz``/``.json`` files with no extra dependencies, plus mid-stream
+simulation snapshots (:func:`save_checkpoint`/:func:`restore_checkpoint`)
+that let an interrupted sync *or* async run resume and replay the exact
+trajectory of an uninterrupted one — RNG streams are keyed by
+``(seed, round[, client])``, so no generator state is involved.
 """
 
 from __future__ import annotations
 
 import json
+import pickle
 from dataclasses import asdict
 from pathlib import Path
 
@@ -16,7 +21,14 @@ import numpy as np
 from .metrics import History, RoundRecord
 from .parameters import ParamSet
 
-__all__ = ["save_params", "load_params", "save_history", "load_history"]
+__all__ = [
+    "save_params",
+    "load_params",
+    "save_history",
+    "load_history",
+    "save_checkpoint",
+    "restore_checkpoint",
+]
 
 
 def save_params(params: ParamSet, path: str | Path) -> None:
@@ -53,6 +65,33 @@ def save_history(history: History, path: str | Path) -> None:
     text = json.dumps(payload, default=default)
     text = text.replace("NaN", "null")
     path.write_text(text)
+
+
+def save_checkpoint(sim, path: str | Path) -> None:
+    """Snapshot a live simulation (sync or async) mid-stream.
+
+    Serializes ``sim.checkpoint_state()`` — global parameters, client
+    states, the virtual clock (including any in-flight async uploads),
+    the run cursor and the history so far — in one pickle, preserving
+    object identity between the clock's pending events and the async
+    in-flight table.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("wb") as fh:
+        pickle.dump(sim.checkpoint_state(), fh, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def restore_checkpoint(sim, path: str | Path) -> None:
+    """Restore a :func:`save_checkpoint` snapshot into a fresh simulation.
+
+    ``sim`` must be constructed with the same task, method, config and
+    mode as the checkpointed run; ``sim.run()`` then continues from the
+    snapshot and reproduces the uninterrupted trajectory exactly.
+    """
+    with Path(path).open("rb") as fh:
+        state = pickle.load(fh)
+    sim.restore_state(state)
 
 
 def load_history(path: str | Path) -> History:

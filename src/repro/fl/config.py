@@ -29,7 +29,19 @@ class FLConfig:
       ``"process"`` (see :mod:`repro.fl.engine`);
     * ``workers`` — process-pool size; ``0`` means all CPU cores;
     * ``system`` — device-behaviour profile name (see
-      :data:`repro.fl.systems.DEVICE_PROFILES`).
+      :data:`repro.fl.systems.DEVICE_PROFILES`);
+    * ``mode`` — server aggregation discipline: ``"sync"`` closes every
+      round at a barrier (Algorithm 1), ``"async"`` folds uploads in as
+      they land on the virtual clock, FedBuff-style (see
+      :mod:`repro.fl.async_aggregation`);
+    * ``buffer_size`` — async only: uploads buffered per flush;
+      ``0`` resolves to the cohort size ``clients_per_round``;
+    * ``staleness_exponent`` — async only: ``beta`` in the staleness
+      mixing weight ``alpha / (1 + staleness)**beta`` (a uniform
+      ``alpha`` cancels under weight normalization, so only ``beta``
+      is configurable);
+    * ``max_concurrency`` — async only: clients training concurrently;
+      ``0`` resolves to the cohort size.
     """
 
     rounds: int = 20
@@ -51,6 +63,10 @@ class FLConfig:
     backend: str = "serial"
     workers: int = 0
     system: str = "ideal"
+    mode: str = "sync"
+    buffer_size: int = 0
+    staleness_exponent: float = 0.5
+    max_concurrency: int = 0
 
     def __post_init__(self) -> None:
         if self.rounds <= 0:
@@ -65,6 +81,14 @@ class FLConfig:
             raise ValueError("local_iterations must be >= 1")
         if self.workers < 0:
             raise ValueError("workers must be >= 0 (0 = all cores)")
+        if self.mode not in ("sync", "async"):
+            raise ValueError(f"mode must be 'sync' or 'async', got {self.mode!r}")
+        if self.buffer_size < 0:
+            raise ValueError("buffer_size must be >= 0 (0 = cohort size)")
+        if self.staleness_exponent < 0:
+            raise ValueError("staleness_exponent must be >= 0")
+        if self.max_concurrency < 0:
+            raise ValueError("max_concurrency must be >= 0 (0 = cohort size)")
 
     @property
     def resolved_stage_boundary(self) -> int:
@@ -76,6 +100,17 @@ class FLConfig:
     def clients_per_round(self, n_clients: int) -> int:
         """c = max(floor(kappa * K), 1) — Algorithm 1's selection size."""
         return max(int(self.kappa * n_clients), 1)
+
+    def resolved_buffer_size(self, n_clients: int) -> int:
+        """Async flush threshold; ``0`` defaults to the cohort size."""
+        if self.buffer_size > 0:
+            return self.buffer_size
+        return self.clients_per_round(n_clients)
+
+    def resolved_max_concurrency(self, n_clients: int) -> int:
+        """Async concurrent-trainer target, capped by the fleet size."""
+        target = self.max_concurrency if self.max_concurrency > 0 else self.clients_per_round(n_clients)
+        return min(target, n_clients)
 
     def with_overrides(self, **kwargs) -> "FLConfig":
         """Functional update (configs are frozen)."""

@@ -70,6 +70,12 @@ class RoundRecord:
     difference (``n_stragglers``) missed the system model's round
     deadline.  ``sim_round_seconds``/``sim_clock_seconds`` are virtual
     clock readings (see :mod:`repro.fl.systems`), not host wall-clock.
+
+    Async (FedBuff-style) runs write one record per *buffer flush*
+    rather than per barrier round: ``flush_index`` numbers the flush
+    (0 on sync records), ``staleness_mean``/``staleness_max`` describe
+    how many flushes old the buffered updates' base models were, and
+    ``sim_clock_seconds`` is the virtual clock at the flush.
     """
 
     round_index: int
@@ -86,6 +92,9 @@ class RoundRecord:
     n_stragglers: int = 0
     sim_round_seconds: float = 0.0
     sim_clock_seconds: float = 0.0
+    flush_index: int = 0
+    staleness_mean: float = 0.0
+    staleness_max: int = 0
 
     @property
     def participation_rate(self) -> float:
@@ -127,6 +136,12 @@ class History:
         """Virtual-clock time of the whole run (last round's clock)."""
         return float(self.records[-1].sim_clock_seconds) if self.records else 0.0
 
+    @property
+    def is_async(self) -> bool:
+        """Whether this history came from buffered async aggregation
+        (its records are buffer flushes, numbered by ``flush_index``)."""
+        return any(r.flush_index > 0 for r in self.records)
+
     def participation(self) -> np.ndarray:
         """Per-round fraction of scheduled clients that made the deadline."""
         return np.array([r.participation_rate for r in self.records])
@@ -134,6 +149,13 @@ class History:
     def mean_upload_bits(self) -> float:
         """Average per-client upload per round — Table I's 'Upload Size'."""
         return float(self.series("upload_bits_mean").mean())
+
+    def mean_staleness(self) -> float:
+        """Average buffered-update staleness across flushes (async runs;
+        identically 0.0 for sync histories)."""
+        if not self.records:
+            return 0.0
+        return float(self.series("staleness_mean").mean())
 
     def rounds_to_accuracy(self, target: float) -> int | None:
         """First round index reaching ``target`` test accuracy, else None."""

@@ -1,8 +1,6 @@
-"""The federated round loop (server orchestration).
+"""Federated server orchestration (sync barrier rounds + shared core).
 
-:class:`FederatedSimulation` reproduces the training procedure of
-Algorithm 1's server side, but is now a thin orchestrator over two
-pluggable layers:
+The server side of Algorithm 1 is layered over two pluggable parts:
 
 * an :class:`~repro.fl.engine.ExecutionBackend` decides *how* the
   selected cohort's local updates run (serially in-process, or fanned
@@ -12,22 +10,28 @@ pluggable layers:
   and a :class:`~repro.fl.systems.VirtualClock` turns that into
   simulated wall-clock per round — see :mod:`repro.fl.systems`.
 
-Per round the server selects ``c = max(floor(kappa * K), 1)`` clients
-from the currently-available fleet, executes their local updates through
-the backend, schedules each upload on the virtual clock at its simulated
-arrival time (download + scaled compute + upload over the client's
-link), drops clients that miss the system model's round deadline
-(stragglers), aggregates the on-time updates, and evaluates the new
-global model.  It also measures what the paper's Fig. 7 needs:
-per-client local-training wall-clock (LTTR) and per-round
-upload/download bit counts (turned into transmission time by
-:mod:`repro.comm.timing`).
+Two server disciplines share this module's orchestration core
+(selection streams, client execution, arrival simulation, evaluation,
+checkpoint state):
+
+* :class:`FederatedSimulation` (here) closes every round at a
+  synchronous barrier: select ``c = max(floor(kappa * K), 1)`` clients,
+  execute them, schedule each upload on the virtual clock, drop clients
+  that miss the system model's deadline (stragglers), aggregate the
+  on-time updates, evaluate.
+* :class:`~repro.fl.async_aggregation.AsyncFederatedSimulation`
+  (FedBuff-style) keeps a pool of clients training concurrently and
+  folds uploads into the global model every ``buffer_size`` arrivals,
+  weighting stale updates down — no barrier at all.
+
+Pick one via ``FLConfig.mode`` (``"sync"``/``"async"``) or construct
+the class directly; :func:`run_simulation` dispatches on the config.
 
 Every stochastic choice is drawn from an RNG stream derived from
 ``(seed, round[, client])`` — never from shared-generator call order —
 so a run's learning trajectory (losses, accuracies, selection,
 upload/download bits) is bit-identical across execution backends and
-worker counts.  Two caveats about the *timing* columns:
+worker counts.  Two caveats about the *timing* columns of sync runs:
 
 * fields derived from measured wall-clock (``lttr_seconds_mean``,
   ``aggregation_seconds``, and sim-clock columns under any profile
@@ -38,6 +42,10 @@ worker counts.  Two caveats about the *timing* columns:
   base (``HeterogeneousSystem(lttr_seconds=...)``, as the built-in
   ``straggler`` profile does) for fully deterministic scenarios,
   sim-clock columns included.
+
+Async runs sidestep the second caveat entirely by replacing measured
+LTTR with a virtual compute base — see
+:mod:`repro.fl.async_aggregation`.
 """
 
 from __future__ import annotations
@@ -48,7 +56,7 @@ from collections import defaultdict
 import numpy as np
 
 from ..nn.models import build_model
-from .client import FederatedMethod
+from .client import ClientUpdate, FederatedMethod
 from .config import FLConfig
 from .engine import ClientResult, ExecutionBackend, make_backend
 from .metrics import History, RoundRecord, evaluate
@@ -59,7 +67,13 @@ __all__ = ["FederatedSimulation", "run_simulation"]
 
 
 class FederatedSimulation:
-    """One (task, method, config) federated training run.
+    """One (task, method, config) federated training run — sync barrier.
+
+    Also serves as the orchestration core shared with
+    :class:`~repro.fl.async_aggregation.AsyncFederatedSimulation`:
+    construction, per-``(seed, round[, client])`` RNG streams, cohort
+    execution through the backend, arrival simulation on the virtual
+    clock, evaluation cadence, and checkpoint state all live here.
 
     Parameters
     ----------
@@ -73,6 +87,8 @@ class FederatedSimulation:
         Device-behaviour model; defaults to
         ``make_system(config.system)``.
     """
+
+    mode = "sync"
 
     def __init__(
         self,
@@ -96,6 +112,8 @@ class FederatedSimulation:
         self.system = system if system is not None else make_system(config.system)
         self.system.bind(task, config)
         self.clock = VirtualClock()
+        self.history = History(method=method.name, task=task.name)
+        self._next_round = 1
 
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -109,6 +127,8 @@ class FederatedSimulation:
         self.close()
 
     # ------------------------------------------------------------------
+    # shared orchestration core
+    # ------------------------------------------------------------------
     def _system_rng(self, round_index: int) -> np.random.Generator:
         """Per-round stream for stochastic device behaviour.
 
@@ -118,31 +138,72 @@ class FederatedSimulation:
         """
         return np.random.default_rng([self.config.seed, round_index, 0x5C1, 0])
 
-    def _select_clients(self, round_index: int, available: np.ndarray) -> np.ndarray:
+    def _select_clients(
+        self, round_index: int, available: np.ndarray, cap: int | None = None
+    ) -> np.ndarray:
         """Uniform sample of ``c`` clients from the available fleet.
 
         The draw comes from a stream keyed by ``(seed, round)`` — not
         from a shared generator — so selection is independent of how
         many times any other RNG was consumed before this round.
+
+        ``cap`` further limits the sample size (async refills pass
+        their free concurrency slots).  Sync and async *must* share
+        this helper: the async buffer>=cohort reduction to the sync
+        trajectory rests on both drawing identically from the same
+        ``(seed, round)`` stream.
         """
         rng = np.random.default_rng([self.config.seed, round_index])
         c = min(self.config.clients_per_round(self.task.n_clients), available.size)
+        if cap is not None:
+            c = min(c, cap)
         return rng.choice(available, size=c, replace=False)
 
     def _client_rng(self, round_index: int, client_id: int) -> np.random.Generator:
         return np.random.default_rng([self.config.seed, round_index, client_id])
 
-    # ------------------------------------------------------------------
+    def _execute_cohort(self, round_index: int, selected: np.ndarray) -> list[ClientResult]:
+        """Run a cohort through the backend and persist client state.
+
+        State is persisted for every executed client — in sync mode
+        stragglers trained locally even if their upload later misses the
+        deadline.
+        """
+        results = self.backend.run_clients(
+            self.task,
+            self.method,
+            self.model,
+            self.config,
+            self.global_params,
+            round_index,
+            selected,
+            self.client_states,
+        )
+        for res in results:
+            self.client_states[res.client_id] = res.state
+        return results
+
     def _simulate_arrivals(
-        self, round_index: int, results: list[ClientResult], sys_rng: np.random.Generator
+        self,
+        round_index: int,
+        results: list[ClientResult],
+        sys_rng: np.random.Generator,
+        lttr_override: float | None = None,
     ) -> list[ClientArrival]:
-        """Model each executed client's simulated round duration."""
+        """Model each executed client's simulated round duration.
+
+        ``lttr_override`` replaces the *measured* local-training time
+        with a virtual constant before the system model scales it —
+        async mode uses this so arrival order derives from virtual
+        time only, never host timing jitter.
+        """
         download_bits = self.method.download_bits(self.global_params)
         arrivals = []
         for res in results:
             network = self.system.network(round_index, res.client_id)
+            base_lttr = res.lttr_seconds if lttr_override is None else lttr_override
             compute = self.system.compute_seconds(
-                round_index, res.client_id, res.lttr_seconds, sys_rng
+                round_index, res.client_id, base_lttr, sys_rng
             )
             arrivals.append(
                 ClientArrival(
@@ -154,27 +215,59 @@ class FederatedSimulation:
             )
         return arrivals
 
+    def _weighted_train_loss(self, updates: list[ClientUpdate], weights: np.ndarray) -> float:
+        losses = np.array([u.mean_loss for u in updates], dtype=np.float64)
+        return float((weights * losses).sum() / weights.sum())
+
+    def _evaluate_if_due(self, round_index: int) -> tuple[float, float]:
+        """Global test loss/accuracy on eval rounds, NaN otherwise."""
+        if round_index % self.config.eval_every == 0 or round_index == self.config.rounds:
+            self.global_params.to_module(self.model)
+            return evaluate(self.model, self.task, self.config.eval_batch_size)
+        return float("nan"), float("nan")
+
+    # ------------------------------------------------------------------
+    # checkpoint / resume
+    # ------------------------------------------------------------------
+    def checkpoint_state(self) -> dict:
+        """Everything needed to resume this run mid-stream.
+
+        RNG streams are all derived from ``(seed, round[, client])``
+        keys, so no generator state needs saving — a resumed run
+        replays the exact trajectory of an uninterrupted one.
+        """
+        return {
+            "mode": self.mode,
+            "next_round": self._next_round,
+            "global_params": self.global_params,
+            "client_states": dict(self.client_states),
+            "clock": self.clock,
+            "history": self.history,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Adopt a :meth:`checkpoint_state` snapshot (mode must match)."""
+        if state.get("mode") != self.mode:
+            raise ValueError(
+                f"checkpoint was written by a {state.get('mode')!r} simulation, "
+                f"cannot restore into {self.mode!r}"
+            )
+        self._next_round = state["next_round"]
+        self.global_params = state["global_params"]
+        self.client_states = defaultdict(dict, state["client_states"])
+        self.clock = state["clock"]
+        self.history = state["history"]
+
+    # ------------------------------------------------------------------
+    # the sync barrier round
+    # ------------------------------------------------------------------
     def run_round(self, round_index: int) -> RoundRecord:
-        """Execute one global round and return its measurements."""
+        """Execute one global barrier round and return its measurements."""
         round_start = self.clock.now
         sys_rng = self._system_rng(round_index)
         available = self.system.available_clients(round_index, sys_rng)
         selected = self._select_clients(round_index, available)
-
-        results = self.backend.run_clients(
-            self.task,
-            self.method,
-            self.model,
-            self.config,
-            self.global_params,
-            round_index,
-            selected,
-            self.client_states,
-        )
-        # Persist every executed client's state — stragglers trained
-        # locally even if their upload misses the deadline below.
-        for res in results:
-            self.client_states[res.client_id] = res.state
+        results = self._execute_cohort(round_index, selected)
 
         # --- virtual clock: schedule uploads, apply the round deadline
         arrivals = self._simulate_arrivals(round_index, results, sys_rng)
@@ -186,17 +279,21 @@ class FederatedSimulation:
             on_time = self.clock.pop_until(round_start + float(totals.max()))
         else:
             on_time = self.clock.pop_until(round_start + deadline)
-            if not on_time:
-                # a server cannot close a round with zero reports: wait
-                # past an (over-tight) absolute deadline for the fastest
-                on_time = self.clock.pop_until(round_start + float(totals.min()))
+        if not on_time and len(self.clock):
+            # a server cannot close a round with zero reports: an
+            # over-tight (or even negative) deadline falls back to the
+            # earliest scheduled upload — including every client tied
+            # at exactly that instant.  pop_until at the peeked event
+            # time is non-empty by construction, so the wait below
+            # never reduces over an empty sequence.
+            on_time = self.clock.pop_until(self.clock.next_time())
         stragglers = self.clock.drop_pending()
         # Aggregate in *selection* order, not arrival order: arrival
         # times derive from measured wall-clock, and floating-point
         # summation order must not depend on host timing jitter.
         position = {res.client_id: i for i, res in enumerate(results)}
         included = sorted((res for res, _ in on_time), key=lambda r: position[r.client_id])
-        wait = max(a.total_seconds for _, a in on_time)
+        wait = max((a.total_seconds for _, a in on_time), default=0.0)
         if stragglers and deadline is not None:
             wait = max(wait, deadline)
         updates = [res.update for res in included]
@@ -212,16 +309,11 @@ class FederatedSimulation:
         self.clock.advance_to(round_start + wait)
 
         weights = np.array([u.payload.weight for u in updates], dtype=np.float64)
-        losses = np.array([u.mean_loss for u in updates], dtype=np.float64)
-        train_loss = float((weights * losses).sum() / weights.sum())
-
-        if round_index % self.config.eval_every == 0 or round_index == self.config.rounds:
-            self.global_params.to_module(self.model)
-            test_loss, test_acc = evaluate(self.model, self.task, self.config.eval_batch_size)
-        else:
-            test_loss, test_acc = float("nan"), float("nan")
+        train_loss = self._weighted_train_loss(updates, weights)
+        test_loss, test_acc = self._evaluate_if_due(round_index)
 
         upload_bits = np.array([u.upload_bits for u in updates], dtype=np.float64)
+        self._next_round = round_index + 1
         return RoundRecord(
             round_index=round_index,
             train_loss=train_loss,
@@ -240,15 +332,19 @@ class FederatedSimulation:
         )
 
     def run(self, progress: bool = False) -> History:
-        """Run all rounds; returns the per-round history."""
-        history = History(method=self.method.name, task=self.task.name)
+        """Run all remaining rounds; returns the per-round history.
+
+        A freshly-constructed simulation runs rounds ``1..rounds``; one
+        restored from :meth:`checkpoint_state` continues where the
+        snapshot left off, appending to the restored history.
+        """
         try:
-            for round_index in range(1, self.config.rounds + 1):
-                record = self.run_round(round_index)
-                history.append(record)
+            while self._next_round <= self.config.rounds:
+                record = self.run_round(self._next_round)
+                self.history.append(record)
                 if progress:  # pragma: no cover - console convenience
                     print(
-                        f"[{self.method.name}/{self.task.name}] round {round_index:3d} "
+                        f"[{self.method.name}/{self.task.name}] round {record.round_index:3d} "
                         f"loss={record.train_loss:.4f} acc={record.test_accuracy:.4f} "
                         f"clients={record.n_selected}/{record.n_scheduled} "
                         f"t_sim={record.sim_clock_seconds:.1f}s"
@@ -258,7 +354,7 @@ class FederatedSimulation:
             # may be shared across several runs
             if self._owns_backend:
                 self.close()
-        return history
+        return self.history
 
 
 def run_simulation(
@@ -269,6 +365,17 @@ def run_simulation(
     backend: ExecutionBackend | None = None,
     system: SystemModel | None = None,
 ) -> History:
-    """Convenience wrapper: construct and run a simulation."""
-    sim = FederatedSimulation(task, method, config, backend=backend, system=system)
+    """Convenience wrapper: construct and run a simulation.
+
+    Dispatches on ``config.mode``: ``"sync"`` builds a
+    :class:`FederatedSimulation`, ``"async"`` a
+    :class:`~repro.fl.async_aggregation.AsyncFederatedSimulation`.
+    """
+    if config.mode == "async":
+        from .async_aggregation import AsyncFederatedSimulation
+
+        sim_cls = AsyncFederatedSimulation
+    else:
+        sim_cls = FederatedSimulation
+    sim = sim_cls(task, method, config, backend=backend, system=system)
     return sim.run(progress=progress)

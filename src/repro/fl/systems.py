@@ -85,6 +85,22 @@ class VirtualClock:
             out.append(heapq.heappop(self._heap)[2])
         return out
 
+    def next_time(self) -> float | None:
+        """Scheduled time of the earliest pending event, or ``None``."""
+        return self._heap[0][0] if self._heap else None
+
+    def pop_next(self):
+        """Pop the earliest pending event as ``(time, payload)``.
+
+        Unlike :meth:`pop_until` this ignores the current time — it is
+        the server 'blocking on the next upload', however late.  Raises
+        ``IndexError`` on an empty queue.
+        """
+        if not self._heap:
+            raise IndexError("pop_next on an empty event queue")
+        at, _, payload = heapq.heappop(self._heap)
+        return at, payload
+
     def drop_pending(self) -> list:
         """Discard (and return) every event still in the queue."""
         out = [item[2] for item in sorted(self._heap)]

@@ -6,7 +6,12 @@ import numpy as np
 import pytest
 
 from repro.comm.network import TMOBILE_5G, NetworkModel
-from repro.comm.timing import lttr_seconds, round_timings, time_to_accuracy
+from repro.comm.timing import (
+    lttr_seconds,
+    preferred_time_to_accuracy,
+    round_timings,
+    time_to_accuracy,
+)
 from repro.fl.metrics import History, RoundRecord
 
 
@@ -81,3 +86,17 @@ class TestTiming:
         slow = history_with([0.9], upload_bits=100e6, lttr=0.0)
         fast = history_with([0.9], upload_bits=10e6, lttr=0.0)
         assert time_to_accuracy(fast, 0.5) < time_to_accuracy(slow, 0.5)
+
+    def test_preferred_tta_uses_sim_clock_when_present(self):
+        h = history_with([0.4, 0.9])
+        for record, clock in zip(h.records, (3.0, 7.0)):
+            record.sim_clock_seconds = clock
+        assert preferred_time_to_accuracy(h, 0.5) == pytest.approx(7.0)
+        # unreachable target: None, never the post-hoc fallback
+        assert preferred_time_to_accuracy(h, 0.99) is None
+
+    def test_preferred_tta_falls_back_without_sim_clock(self):
+        h = history_with([0.9])  # legacy history: no virtual-clock data
+        assert preferred_time_to_accuracy(h, 0.5) == pytest.approx(
+            time_to_accuracy(h, 0.5)
+        )

@@ -62,3 +62,24 @@ class TestMain:
     def test_negative_workers_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "mnist", "fedavg", "--workers", "-1"])
+
+    def test_run_async_mode(self, capsys):
+        code = main(
+            ["run", "mnist", "fedavg", "--rounds", "2", "--mode", "async",
+             "--device-profile", "straggler", "--buffer-size", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mean staleness" in out
+
+    def test_buffer_size_implies_async_mode(self):
+        from repro.experiments.runner import _EXECUTION_DEFAULTS
+
+        code = main(["run", "mnist", "fedavg", "--rounds", "2", "--buffer-size", "2"])
+        assert code == 0
+        assert _EXECUTION_DEFAULTS.get("mode") == "async"
+        assert _EXECUTION_DEFAULTS.get("buffer_size") == 2
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "mnist", "fedavg", "--mode", "semi"])

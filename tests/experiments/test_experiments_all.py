@@ -96,6 +96,20 @@ class TestRunner:
         assert r.tta(0.0) is not None
         assert r.tta(2.0) is None
 
+    def test_tta_reads_virtual_clock_for_async_runs(self):
+        """The sync post-hoc barrier composition does not describe
+        buffer flushes; async RunResult.tta must dispatch to the
+        virtual clock so fig7/fig8 stay valid under --mode async."""
+        overrides = {"rounds": 3, "local_iterations": 3, "eval_every": 1}
+        r = run_experiment(
+            "mnist", "fedavg", scale="small", config_overrides=overrides,
+            mode="async", system="straggler",
+        )
+        assert r.history.is_async
+        assert r.tta(0.0) == pytest.approx(r.history.records[0].sim_clock_seconds)
+        assert r.tta(0.0) == r.sim_tta(0.0)
+        assert r.tta(2.0) is None
+
 
 class TestReporting:
     def test_format_table_aligned(self):

@@ -4,8 +4,10 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.fl.aggregation import ClientPayload, aggregate
+from repro.fl.aggregation import AGGREGATION_MODES, ClientPayload, aggregate
 from repro.fl.parameters import ParamSet
 
 
@@ -107,3 +109,109 @@ class TestPaperLiteralMode:
         literal = aggregate(payloads, ps(0.0), mode="paper-literal")
         per_row = aggregate(payloads, ps(0.0), mode="per-row")
         assert literal.allclose(per_row)
+
+
+# ----------------------------------------------------------------------
+# property-style edge cases (randomized payload populations)
+# ----------------------------------------------------------------------
+
+ROWS, COLS = 4, 3
+
+
+def _random_payloads(seed: int, n_payloads: int, masks: list[np.ndarray]) -> list[ClientPayload]:
+    """Payloads with seeded random params/weights; dropped rows zeroed."""
+    rng = np.random.default_rng(seed)
+    payloads = []
+    for mask in masks[:n_payloads]:
+        w = rng.normal(size=(ROWS, COLS))
+        w[~mask] = 0.0
+        payloads.append(
+            ClientPayload(
+                ParamSet({"w": w}),
+                weight=float(rng.uniform(0.5, 5.0)),
+                masks={"w": mask.copy()},
+            )
+        )
+    return payloads
+
+
+mask_rows = st.lists(st.booleans(), min_size=ROWS, max_size=ROWS)
+
+
+class TestAggregationProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        raw_masks=st.lists(mask_rows, min_size=1, max_size=4),
+        dead_row=st.integers(0, ROWS - 1),
+    )
+    def test_row_dropped_by_all_keeps_previous_global(self, seed, raw_masks, dead_row):
+        """Per-row: a row no payload held is *exactly* the previous
+        global value; rows somebody held equal the weighted mean over
+        their holders."""
+        masks = [np.array(m, dtype=bool) for m in raw_masks]
+        for mask in masks:
+            mask[dead_row] = False
+        payloads = _random_payloads(seed, len(masks), masks)
+        prev = ParamSet({"w": np.random.default_rng(seed + 1).normal(size=(ROWS, COLS))})
+        out = aggregate(payloads, prev, mode="per-row")
+        np.testing.assert_array_equal(out["w"][dead_row], prev["w"][dead_row])
+        for row in range(ROWS):
+            holders = [p for p, m in zip(payloads, masks) if m[row]]
+            if not holders:
+                np.testing.assert_array_equal(out["w"][row], prev["w"][row])
+                continue
+            total = sum(p.weight for p in holders)
+            expected = sum(p.weight * p.params["w"][row] for p in holders) / total
+            np.testing.assert_allclose(out["w"][row], expected, rtol=1e-12)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        raw_masks=st.lists(mask_rows, min_size=1, max_size=4),
+        mode=st.sampled_from(AGGREGATION_MODES),
+    )
+    def test_elementwise_and_row_masks_agree_when_broadcast(self, seed, raw_masks, mode):
+        """A row mask and its elementwise broadcast produce identical
+        aggregates, in both modes."""
+        masks = [np.array(m, dtype=bool) for m in raw_masks]
+        row_payloads = _random_payloads(seed, len(masks), masks)
+        elem_payloads = _random_payloads(seed, len(masks), masks)
+        for p in elem_payloads:
+            p.masks["w"] = np.broadcast_to(
+                p.masks["w"][:, None], (ROWS, COLS)
+            ).copy()
+        prev = ParamSet({"w": np.random.default_rng(seed + 1).normal(size=(ROWS, COLS))})
+        by_row = aggregate(row_payloads, prev, mode=mode)
+        by_elem = aggregate(elem_payloads, prev, mode=mode)
+        np.testing.assert_array_equal(by_row["w"], by_elem["w"])
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        scale=st.sampled_from([0.0, -1.0, -3.5]),
+        mode=st.sampled_from(AGGREGATION_MODES),
+    )
+    def test_zero_or_negative_total_weight_raises(self, seed, scale, mode):
+        """Both modes reject populations whose total weight is <= 0."""
+        masks = [np.ones(ROWS, dtype=bool)] * 2
+        payloads = _random_payloads(seed, 2, masks)
+        for p in payloads:
+            p.weight *= scale
+        prev = ParamSet({"w": np.zeros((ROWS, COLS))})
+        with pytest.raises(ValueError):
+            aggregate(payloads, prev, mode=mode)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1), dead_row=st.integers(0, ROWS - 1))
+    def test_paper_literal_shrinks_all_dropped_row_to_zero(self, seed, dead_row):
+        """Eq. (10) verbatim: an all-dropped row sums zero contributions
+        and divides by the full weight — it collapses to exactly zero,
+        the documented contrast with per-row's keep-previous rule."""
+        masks = [np.ones(ROWS, dtype=bool) for _ in range(3)]
+        for mask in masks:
+            mask[dead_row] = False
+        payloads = _random_payloads(seed, 3, masks)
+        prev = ParamSet({"w": np.random.default_rng(seed + 1).normal(size=(ROWS, COLS))})
+        out = aggregate(payloads, prev, mode="paper-literal")
+        np.testing.assert_array_equal(out["w"][dead_row], np.zeros(COLS))

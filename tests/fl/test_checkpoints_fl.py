@@ -1,10 +1,18 @@
-"""Tests for model/history checkpointing."""
+"""Tests for model/history checkpointing and mid-stream resume."""
 
 from __future__ import annotations
 
 import numpy as np
+import pytest
 
-from repro.fl.checkpoints import load_history, load_params, save_history, save_params
+from repro.fl.checkpoints import (
+    load_history,
+    load_params,
+    restore_checkpoint,
+    save_checkpoint,
+    save_history,
+    save_params,
+)
 from repro.fl.metrics import History, RoundRecord
 from repro.fl.parameters import ParamSet
 
@@ -58,3 +66,110 @@ def test_simulation_params_checkpoint(tmp_path, tiny_image_task, fast_config):
     assert restored.allclose(sim.global_params)
     # restoring into the model reproduces evaluation results
     restored.to_module(sim.model)
+
+
+# ----------------------------------------------------------------------
+# mid-stream checkpoint/resume regression: interrupted == uninterrupted
+# ----------------------------------------------------------------------
+
+def _trajectory_key(history):
+    """The trajectory-deterministic columns (host wall-clock excluded).
+
+    The straggler profile pins compute to virtual time, so the sim-clock
+    columns are part of the deterministic trajectory here too.
+    """
+    return tuple(
+        history.series(key).tobytes()
+        for key in (
+            "train_loss",
+            "test_loss",
+            "test_accuracy",
+            "upload_bits_total",
+            "n_selected",
+            "n_scheduled",
+            "n_stragglers",
+            "sim_clock_seconds",
+            "flush_index",
+            "staleness_mean",
+            "staleness_max",
+        )
+    )
+
+
+@pytest.mark.parametrize("mode_overrides", [
+    {},  # sync
+    {"mode": "async", "buffer_size": 1},  # async, staleness in play
+])
+def test_resume_matches_uninterrupted_run(tmp_path, tiny_image_task, fast_config, mode_overrides):
+    """A run checkpointed mid-stream and resumed in a fresh simulation
+    reproduces the uninterrupted run's history exactly, in both modes."""
+    from repro.core.client import FedBIAD
+    from repro.fl.simulation import run_simulation
+
+    cfg = fast_config.with_overrides(rounds=5, system="straggler", **mode_overrides)
+    uninterrupted = run_simulation(tiny_image_task, FedBIAD(), cfg)
+
+    from repro.fl.async_aggregation import AsyncFederatedSimulation
+    from repro.fl.simulation import FederatedSimulation
+
+    sim_cls = AsyncFederatedSimulation if cfg.mode == "async" else FederatedSimulation
+    first = sim_cls(tiny_image_task, FedBIAD(), cfg)
+    try:
+        for round_index in range(1, 3):
+            first.history.append(first.run_round(round_index))
+        path = tmp_path / "mid.ckpt"
+        save_checkpoint(first, path)
+    finally:
+        first.close()
+
+    resumed_sim = sim_cls(tiny_image_task, FedBIAD(), cfg)
+    restore_checkpoint(resumed_sim, path)
+    resumed = resumed_sim.run()
+    assert len(resumed) == cfg.rounds
+    assert _trajectory_key(resumed) == _trajectory_key(uninterrupted)
+
+
+def test_restore_rejects_mode_mismatch(tmp_path, tiny_image_task, fast_config):
+    from repro.baselines.fedavg import FedAvg
+    from repro.fl.async_aggregation import AsyncFederatedSimulation
+    from repro.fl.simulation import FederatedSimulation
+
+    sync_sim = FederatedSimulation(tiny_image_task, FedAvg(), fast_config)
+    try:
+        sync_sim.history.append(sync_sim.run_round(1))
+        path = tmp_path / "sync.ckpt"
+        save_checkpoint(sync_sim, path)
+    finally:
+        sync_sim.close()
+    async_sim = AsyncFederatedSimulation(
+        tiny_image_task, FedAvg(), fast_config.with_overrides(mode="async")
+    )
+    try:
+        with pytest.raises(ValueError):
+            restore_checkpoint(async_sim, path)
+    finally:
+        async_sim.close()
+
+
+def test_async_checkpoint_preserves_in_flight_uploads(tmp_path, tiny_image_task, fast_config):
+    """In-flight uploads pending on the virtual clock survive the
+    snapshot: the resumed run folds them instead of relaunching."""
+    from repro.baselines.fedavg import FedAvg
+    from repro.fl.async_aggregation import AsyncFederatedSimulation
+
+    cfg = fast_config.with_overrides(
+        rounds=4, mode="async", buffer_size=1, system="straggler"
+    )
+    sim = AsyncFederatedSimulation(tiny_image_task, FedAvg(), cfg)
+    try:
+        sim.history.append(sim.run_round(1))
+        assert len(sim.clock) > 0  # something must still be in transit
+        path = tmp_path / "async.ckpt"
+        save_checkpoint(sim, path)
+    finally:
+        sim.close()
+    resumed = AsyncFederatedSimulation(tiny_image_task, FedAvg(), cfg)
+    restore_checkpoint(resumed, path)
+    assert len(resumed.clock) == len(resumed._in_flight)
+    assert len(resumed.clock) > 0
+    resumed.run()

@@ -206,3 +206,75 @@ class TestSystemSimulation:
         cfg = session_config.with_overrides(system="flaky", rounds=3)
         history = run_simulation(session_image_task, FedAvg(), cfg)
         assert np.all(history.series("n_selected") >= 1)
+
+
+class _OverTightDeadline(HeterogeneousSystem):
+    """A deadline *below* every client's finish time — even the fastest
+    client technically misses it, exercising the server's
+    cannot-close-empty fallback."""
+
+    def __init__(self, **kwargs):
+        super().__init__(lttr_seconds=1.0, **kwargs)
+
+    def round_deadline(self, arrival_seconds: np.ndarray) -> float:
+        return 0.5 * float(arrival_seconds.min())
+
+
+class TestOverTightDeadlineFallback:
+    """Regression: the round must never reduce ``wait`` over an empty
+    on-time sequence, whatever the deadline returns (see run_round)."""
+
+    def test_fallback_takes_fastest_client(self, session_image_task, session_config):
+        cfg = session_config.with_overrides(rounds=3)
+        system = _OverTightDeadline(speed_spread=8.0, bandwidth_spread=4.0)
+        history = run_simulation(session_image_task, FedAvg(), cfg, system=system)
+        # every round closes on exactly the fastest client; the rest
+        # are stragglers
+        assert np.all(history.series("n_selected") == 1)
+        np.testing.assert_array_equal(
+            history.series("n_stragglers"),
+            history.series("n_scheduled") - 1,
+        )
+        assert np.all(np.diff(history.series("sim_clock_seconds")) > 0)
+
+    def test_fallback_keeps_simultaneous_fastest_ties(
+        self, session_image_task, session_config
+    ):
+        """With identical devices every upload lands at the same instant:
+        the fallback must include the whole tie, not crash on it."""
+        cfg = session_config.with_overrides(rounds=2)
+        # spreads of 1.0 disable heterogeneity -> all arrivals tie
+        system = _OverTightDeadline(speed_spread=1.0, bandwidth_spread=1.0)
+        history = run_simulation(session_image_task, FedAvg(), cfg, system=system)
+        np.testing.assert_array_equal(
+            history.series("n_selected"), history.series("n_scheduled")
+        )
+        assert np.all(history.series("n_stragglers") == 0)
+
+    def test_fallback_deterministic_across_backends(
+        self, session_image_task, session_config
+    ):
+        from repro.fl.engine import ProcessPoolBackend, SerialBackend
+
+        cfg = session_config.with_overrides(rounds=2)
+        serial = run_simulation(
+            session_image_task,
+            FedAvg(),
+            cfg,
+            backend=SerialBackend(),
+            system=_OverTightDeadline(speed_spread=8.0),
+        )
+        with ProcessPoolBackend(workers=2) as backend:
+            pooled = run_simulation(
+                session_image_task,
+                FedAvg(),
+                cfg,
+                backend=backend,
+                system=_OverTightDeadline(speed_spread=8.0),
+            )
+        np.testing.assert_array_equal(
+            serial.series("n_selected"), pooled.series("n_selected")
+        )
+        np.testing.assert_array_equal(
+            serial.series("train_loss"), pooled.series("train_loss")
+        )
