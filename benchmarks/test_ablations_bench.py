@@ -7,13 +7,16 @@ dropout rescaling — all on the FMNIST-like task at p=0.5.
 
 from __future__ import annotations
 
-from repro.experiments import format_ablations, run_ablations
+from repro.experiments import ablation_rows, ablations_spec, format_ablations, run_sweep
 
 from conftest import emit
 
 
 def test_ablations(benchmark):
-    rows = benchmark.pedantic(run_ablations, rounds=1, iterations=1)
+    def run():
+        return ablation_rows(run_sweep(ablations_spec()))
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
     emit("ablations", format_ablations(rows))
 
     by_name = {r.name: r for r in rows}

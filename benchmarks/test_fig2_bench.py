@@ -9,13 +9,16 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.experiments import format_fig2, run_fig2
+from repro.experiments import fig2_result, fig2_spec, format_fig2, run_sweep
 
 from conftest import emit
 
 
 def test_fig2(benchmark):
-    result = benchmark.pedantic(run_fig2, rounds=1, iterations=1)
+    def run():
+        return fig2_result(run_sweep(fig2_spec()))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
     emit("fig2", format_fig2(result))
 
     # losses end lower than they start for every method

@@ -9,13 +9,16 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.experiments import format_fig6, run_fig6
+from repro.experiments import fig6_panels, fig6_spec, format_fig6, run_sweep
 
 from conftest import emit
 
 
 def test_fig6(benchmark):
-    panels = benchmark.pedantic(run_fig6, rounds=1, iterations=1)
+    def run():
+        return fig6_panels(run_sweep(fig6_spec()))
+
+    panels = benchmark.pedantic(run, rounds=1, iterations=1)
     emit("fig6", format_fig6(panels))
 
     mnist = next(p for p in panels if p.dataset == "mnist")

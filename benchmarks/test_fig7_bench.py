@@ -7,7 +7,7 @@ competitive because its uplink payload is the smallest.
 
 from __future__ import annotations
 
-from repro.experiments import format_fig7, run_fig7
+from repro.experiments import fig7_rows, fig7_spec, format_fig7, run_sweep
 
 from conftest import bench_datasets, emit
 
@@ -16,7 +16,7 @@ def test_fig7(benchmark):
     datasets = bench_datasets(("mnist", "fmnist", "wikitext2", "reddit"))
 
     def run():
-        return run_fig7(datasets=datasets)
+        return fig7_rows(run_sweep(fig7_spec(datasets=datasets)))
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
     emit("fig7", format_fig7(rows))

@@ -7,14 +7,17 @@ rate rises; accuracy degrades gracefully with the rate.
 
 from __future__ import annotations
 
-from repro.experiments import format_fig8, run_fig8
+from repro.experiments import fig8_rows, fig8_spec, format_fig8, run_sweep
 from repro.experiments.runner import run_experiment
 
 from conftest import emit
 
 
 def test_fig8(benchmark):
-    result = benchmark.pedantic(run_fig8, rounds=1, iterations=1)
+    def run():
+        return fig8_rows(run_sweep(fig8_spec()))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
     emit("fig8", format_fig8(result))
 
     fedavg_accs = {r.accuracy for r in result if r.method == "fedavg"}

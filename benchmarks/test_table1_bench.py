@@ -9,7 +9,7 @@ recurrent rows.
 from __future__ import annotations
 
 from repro.data.registry import TASK_NAMES
-from repro.experiments import format_table1, run_table1
+from repro.experiments import format_table1, run_sweep, table1_rows, table1_spec
 
 from conftest import bench_datasets, emit
 
@@ -18,7 +18,7 @@ def test_table1(benchmark):
     datasets = bench_datasets(TASK_NAMES)
 
     def run():
-        return run_table1(datasets=datasets)
+        return table1_rows(run_sweep(table1_spec(datasets=datasets)))
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
     emit("table1", format_table1(rows))

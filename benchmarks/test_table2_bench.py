@@ -9,7 +9,7 @@ SignSGD at ~32x.
 from __future__ import annotations
 
 from repro.data.registry import TASK_NAMES
-from repro.experiments import format_table2, run_table2
+from repro.experiments import format_table2, run_sweep, table2_rows, table2_spec
 
 from conftest import bench_datasets, emit
 
@@ -18,7 +18,7 @@ def test_table2(benchmark):
     datasets = bench_datasets(TASK_NAMES)
 
     def run():
-        return run_table2(datasets=datasets)
+        return table2_rows(run_sweep(table2_spec(datasets=datasets)))
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
     emit("table2", format_table2(rows))

@@ -1,6 +1,22 @@
-"""Experiment harness regenerating every table and figure of Section V."""
+"""Experiment harness regenerating every table and figure of Section V.
 
-from .ablations import AblationRow, format_ablations, run_ablations
+The harness is declarative: each artifact is an
+:class:`~repro.experiments.spec.SweepSpec` grid of content-addressed
+:class:`~repro.experiments.spec.ExperimentSpec` cells, executed by a
+:class:`~repro.experiments.sweep.SweepScheduler` against a
+:class:`~repro.experiments.store.RunStore` (sharded across processes,
+resumable after interruption), with a rows/result function folding the
+finished cells back into the paper's layout.  The historical
+``run_table1``-style one-call entry points remain as deprecated shims.
+"""
+
+from .ablations import (
+    AblationRow,
+    ablation_rows,
+    ablations_spec,
+    format_ablations,
+    run_ablations,
+)
 from .configs import (
     FIG2_METHODS,
     TABLE1_METHODS,
@@ -10,17 +26,30 @@ from .configs import (
     active_scale,
     preset_for,
 )
-from .fig2 import Fig2Result, format_fig2, run_fig2
-from .fig6 import Fig6Panel, format_fig6, run_fig6
-from .fig7 import FIG7_METHODS, Fig7Row, format_fig7, run_fig7
-from .fig8 import FIG8_METHODS, Fig8Row, format_fig8, run_fig8
+from .context import ExecutionContext
+from .fig2 import Fig2Result, fig2_result, fig2_spec, format_fig2, run_fig2
+from .fig6 import Fig6Panel, fig6_panels, fig6_spec, format_fig6, run_fig6
+from .fig7 import FIG7_METHODS, Fig7Row, fig7_rows, fig7_spec, format_fig7, run_fig7
+from .fig8 import FIG8_METHODS, Fig8Row, fig8_rows, fig8_spec, format_fig8, run_fig8
 from .reporting import format_series, format_table, percent, pm, sparkline
-from .runner import RunResult, clear_cache, dense_upload_bits, resolve_method, run_experiment
-from .table1 import Table1Row, format_table1, run_table1
-from .table2 import Table2Row, format_table2, run_table2
+from .runner import (
+    RunResult,
+    clear_cache,
+    dense_upload_bits,
+    resolve_method,
+    run_experiment,
+    set_default_execution,
+)
+from .spec import ExperimentSpec, SweepSpec
+from .store import MemoryRunStore, RunStore
+from .sweep import SweepResult, SweepScheduler, run_sweep
+from .table1 import Table1Row, format_table1, run_table1, table1_rows, table1_spec
+from .table2 import Table2Row, format_table2, run_table2, table2_rows, table2_spec
 
 __all__ = [
     "AblationRow",
+    "ablation_rows",
+    "ablations_spec",
     "format_ablations",
     "run_ablations",
     "FIG2_METHODS",
@@ -30,18 +59,27 @@ __all__ = [
     "ExperimentPreset",
     "active_scale",
     "preset_for",
+    "ExecutionContext",
     "Fig2Result",
+    "fig2_result",
+    "fig2_spec",
     "format_fig2",
     "run_fig2",
     "Fig6Panel",
+    "fig6_panels",
+    "fig6_spec",
     "format_fig6",
     "run_fig6",
     "FIG7_METHODS",
     "Fig7Row",
+    "fig7_rows",
+    "fig7_spec",
     "format_fig7",
     "run_fig7",
     "FIG8_METHODS",
     "Fig8Row",
+    "fig8_rows",
+    "fig8_spec",
     "format_fig8",
     "run_fig8",
     "format_series",
@@ -54,10 +92,22 @@ __all__ = [
     "dense_upload_bits",
     "resolve_method",
     "run_experiment",
+    "set_default_execution",
+    "ExperimentSpec",
+    "SweepSpec",
+    "MemoryRunStore",
+    "RunStore",
+    "SweepResult",
+    "SweepScheduler",
+    "run_sweep",
     "Table1Row",
     "format_table1",
     "run_table1",
+    "table1_rows",
+    "table1_spec",
     "Table2Row",
     "format_table2",
     "run_table2",
+    "table2_rows",
+    "table2_spec",
 ]

@@ -10,16 +10,22 @@ decision the paper makes implicitly; the ablation bench quantifies it:
 * ``use_stage2`` — the score-driven stage two of Section IV-D;
 * ``bayesian_init`` — sampling from N(U, s2 I) vs copying U;
 * ``rescale`` — inverted-dropout rescaling of kept rows.
+
+Declarative form: :func:`ablations_spec` (one cell per variant) +
+:func:`ablation_rows` (same arguments rebuild the cells for lookup);
+``run_ablations`` is a deprecated shim.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from .reporting import format_table
-from .runner import run_experiment
+from .spec import ExperimentSpec, SweepSpec
+from .sweep import SweepResult, run_sweep
 
-__all__ = ["AblationRow", "run_ablations", "format_ablations"]
+__all__ = ["AblationRow", "ablations_spec", "ablation_rows", "run_ablations", "format_ablations"]
 
 
 @dataclass
@@ -40,21 +46,45 @@ ABLATIONS = (
 )
 
 
-def run_ablations(
+def _cell(dataset, scale, seed, base_overrides, variant_overrides, method_kwargs):
+    return ExperimentSpec.make(
+        dataset,
+        "fedbiad",
+        scale=scale,
+        seed=seed,
+        overrides={**(base_overrides or {}), **variant_overrides},
+        method_kwargs=method_kwargs,
+    )
+
+
+def ablations_spec(
     dataset: str = "fmnist",
     scale: str | None = None,
     seed: int = 0,
+    overrides: dict | None = None,
+) -> SweepSpec:
+    """The ablation bench as a sweep: one FedBIAD cell per variant."""
+    return SweepSpec.from_cells(
+        "ablations",
+        (
+            _cell(dataset, scale, seed, overrides, variant_overrides, method_kwargs)
+            for _, variant_overrides, method_kwargs in ABLATIONS
+        ),
+    )
+
+
+def ablation_rows(
+    results: SweepResult,
+    dataset: str = "fmnist",
+    scale: str | None = None,
+    seed: int = 0,
+    overrides: dict | None = None,
 ) -> list[AblationRow]:
+    """Rebuild the labelled ablation rows from a finished sweep
+    (arguments must match the :func:`ablations_spec` call)."""
     rows = []
-    for label, overrides, method_kwargs in ABLATIONS:
-        result = run_experiment(
-            dataset,
-            "fedbiad",
-            scale=scale,
-            seed=seed,
-            config_overrides=overrides,
-            method_kwargs=method_kwargs,
-        )
+    for label, variant_overrides, method_kwargs in ABLATIONS:
+        result = results[_cell(dataset, scale, seed, overrides, variant_overrides, method_kwargs)]
         rows.append(
             AblationRow(
                 name=label,
@@ -63,6 +93,23 @@ def run_ablations(
             )
         )
     return rows
+
+
+def run_ablations(
+    dataset: str = "fmnist",
+    scale: str | None = None,
+    seed: int = 0,
+) -> list[AblationRow]:
+    """Deprecated: run the ablation bench in one (serial) call; use
+    ``ablation_rows(run_sweep(ablations_spec(...)), ...)``."""
+    warnings.warn(
+        "run_ablations() is deprecated; use "
+        "ablation_rows(run_sweep(ablations_spec(...)), ...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    spec = ablations_spec(dataset=dataset, scale=scale, seed=seed)
+    return ablation_rows(run_sweep(spec), dataset=dataset, scale=scale, seed=seed)
 
 
 def format_ablations(rows: list[AblationRow], dataset: str = "fmnist") -> str:

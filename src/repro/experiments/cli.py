@@ -3,27 +3,36 @@
 Usage::
 
     python -m repro.experiments.cli table1 --datasets mnist,fmnist
-    python -m repro.experiments.cli table2
-    python -m repro.experiments.cli fig2
-    python -m repro.experiments.cli fig6 --datasets mnist
     python -m repro.experiments.cli fig7
-    python -m repro.experiments.cli fig8
-    python -m repro.experiments.cli ablations --datasets fmnist
     python -m repro.experiments.cli run mnist fedbiad --rounds 20
     python -m repro.experiments.cli run mnist fedbiad --backend process --workers 4
-    python -m repro.experiments.cli run mnist fedbiad --device-profile straggler
     python -m repro.experiments.cli run mnist fedbiad --mode async --buffer-size 2
 
+    # sharded, resumable sweeps against an on-disk store
+    python -m repro.experiments.cli sweep table1 --shards 4 --store runs/
+    python -m repro.experiments.cli sweep table1 --shards 4 --store runs/   # resume
+    python -m repro.experiments.cli sweep table1 --seeds 0,1,2   # multi-seed +/- columns
+    python -m repro.experiments.cli sweep fig7 --datasets mnist,fmnist
+
 The ``run`` subcommand executes a single (task, method) simulation and
-prints its summary — handy for interactive exploration.
+prints its summary — handy for interactive exploration.  The ``sweep``
+subcommand expands an artifact's (task x method x seed) grid into
+content-addressed cells, shards them across ``--shards`` worker
+processes, and persists every finished cell to ``--store``; re-running
+the same sweep recomputes only the cells the store is missing
+(``--no-resume`` forces a full recompute), so a killed Table-I
+regeneration picks up where it left off.  ``--max-cells`` bounds one
+invocation's work (smoke tests, budgeted runs).
 
 Every subcommand accepts ``--backend serial|process`` (with
 ``--workers N``) to pick the execution engine, ``--device-profile``
 to run under a system model (``ideal``, ``heterogeneous``, ``flaky``,
 ``straggler``), and ``--mode sync|async`` (with ``--buffer-size N``)
 to choose between barrier rounds and FedBuff-style buffered async
-aggregation; see :mod:`repro.fl.engine`, :mod:`repro.fl.systems` and
-:mod:`repro.fl.async_aggregation`.
+aggregation.  The flags become an explicit
+:class:`~repro.experiments.context.ExecutionContext` threaded through
+the runner and scheduler; see :mod:`repro.fl.engine`,
+:mod:`repro.fl.systems` and :mod:`repro.fl.async_aggregation`.
 """
 
 from __future__ import annotations
@@ -31,25 +40,39 @@ from __future__ import annotations
 import argparse
 import sys
 
+from ..baselines.registry import METHOD_NAMES
+from ..compression.registry import COMPRESSOR_NAMES
 from ..data.registry import TASK_NAMES
 from ..fl.engine import BACKEND_NAMES
 from ..fl.systems import SYSTEM_NAMES
-from .ablations import format_ablations, run_ablations
-from .fig2 import format_fig2, run_fig2
-from .fig6 import format_fig6, run_fig6
-from .fig7 import format_fig7, run_fig7
-from .fig8 import format_fig8, run_fig8
-from .runner import run_experiment, set_default_execution
-from .table1 import format_table1, run_table1
-from .table2 import format_table2, run_table2
+from .ablations import ablation_rows, ablations_spec, format_ablations
+from .context import ExecutionContext
+from .fig2 import fig2_result, fig2_spec, format_fig2
+from .fig6 import fig6_panels, fig6_spec, format_fig6
+from .fig7 import fig7_rows, fig7_spec, format_fig7
+from .fig8 import fig8_rows, fig8_spec, format_fig8
+from .runner import run_experiment
+from .store import RunStore
+from .sweep import run_sweep
+from .table1 import format_table1, table1_rows, table1_spec
+from .table2 import format_table2, table2_rows, table2_spec
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "context_from_args"]
+
+ARTIFACT_NAMES = ("table1", "table2", "fig2", "fig6", "fig7", "fig8", "ablations")
 
 
 def _nonnegative_int(raw: str) -> int:
     value = int(raw)
     if value < 0:
         raise argparse.ArgumentTypeError("must be >= 0 (0 = all cores)")
+    return value
+
+
+def _positive_int(raw: str) -> int:
+    value = int(raw)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
     return value
 
 
@@ -68,6 +91,27 @@ def _add_execution_flags(p: argparse.ArgumentParser) -> None:
                         "implies --mode async")
 
 
+def context_from_args(args: argparse.Namespace) -> ExecutionContext:
+    """Build the run's :class:`ExecutionContext` from parsed CLI flags
+    (applying the ``--workers`` -> process and ``--buffer-size`` ->
+    async implications)."""
+    backend = getattr(args, "backend", None)
+    workers = getattr(args, "workers", None)
+    if workers is not None and backend is None:
+        backend = "process"  # --workers only means anything to the pool
+    mode = getattr(args, "mode", None)
+    buffer_size = getattr(args, "buffer_size", None)
+    if buffer_size is not None and mode is None:
+        mode = "async"  # --buffer-size only means anything to the buffer
+    return ExecutionContext(
+        backend=backend,
+        workers=workers,
+        system=getattr(args, "device_profile", None),
+        mode=mode,
+        buffer_size=buffer_size,
+    )
+
+
 def _dataset_list(raw: str | None, default: tuple[str, ...]) -> tuple[str, ...]:
     if not raw:
         return default
@@ -75,6 +119,39 @@ def _dataset_list(raw: str | None, default: tuple[str, ...]) -> tuple[str, ...]:
     unknown = set(chosen) - set(TASK_NAMES)
     if unknown:
         raise SystemExit(f"unknown datasets: {sorted(unknown)}; choose from {TASK_NAMES}")
+    return chosen
+
+
+def _seed_list(raw: str | None) -> tuple[int, ...]:
+    if not raw:
+        return (0,)
+    try:
+        seeds = tuple(int(s.strip()) for s in raw.split(",") if s.strip())
+    except ValueError:
+        raise SystemExit(f"--seeds must be comma-separated integers, got {raw!r}")
+    if not seeds:
+        raise SystemExit(f"--seeds must name at least one seed, got {raw!r}")
+    return seeds
+
+
+def _method_list(raw: str | None) -> tuple[str, ...] | None:
+    """Validate --methods up front (like --datasets) so a typo fails
+    before any cells run rather than mid-sweep inside a worker."""
+    if not raw:
+        return None
+    chosen = tuple(m.strip() for m in raw.split(",") if m.strip())
+    if not chosen:
+        raise SystemExit(f"--methods must name at least one method, got {raw!r}")
+    valid = set(METHOD_NAMES) | set(COMPRESSOR_NAMES)
+    for spec in chosen:
+        base, _, comp = spec.partition("+")
+        known = spec in valid or (comp and base in METHOD_NAMES and comp in COMPRESSOR_NAMES)
+        if not known:
+            raise SystemExit(
+                f"unknown method spec {spec!r}; choose baseline names "
+                f"{METHOD_NAMES}, compressors {COMPRESSOR_NAMES}, or "
+                f"base+compressor combinations"
+            )
     return chosen
 
 
@@ -107,46 +184,173 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--scale", default=None, choices=("small", "paper"))
     _add_execution_flags(p)
+
+    p = sub.add_parser(
+        "sweep",
+        help="run an artifact's grid as a sharded, resumable sweep",
+    )
+    p.add_argument("artifact", choices=ARTIFACT_NAMES)
+    p.add_argument("--datasets", default=None,
+                   help="comma-separated subset (grid artifacts) or single "
+                        "dataset (fig8/ablations)")
+    p.add_argument("--methods", default=None,
+                   help="comma-separated method specs overriding the "
+                        "artifact's line-up")
+    p.add_argument("--seeds", default=None,
+                   help="comma-separated seeds (default 0; multi-seed is a "
+                        "table1/table2 feature — figures are single-seed)")
+    p.add_argument("--scale", default=None, choices=("small", "paper"))
+    p.add_argument("--shards", type=_positive_int, default=1,
+                   help="worker processes the pending cells are split across")
+    p.add_argument("--store", default=".repro_store",
+                   help="on-disk run store directory (cells persist here)")
+    p.add_argument("--resume", action=argparse.BooleanOptionalAction, default=True,
+                   help="reuse cells the store already holds "
+                        "(--no-resume recomputes everything)")
+    p.add_argument("--rounds", type=_positive_int, default=None,
+                   help="override every cell's round count (smoke sweeps)")
+    p.add_argument("--max-cells", type=_nonnegative_int, default=None,
+                   help="compute at most N cells this invocation, leaving "
+                        "the rest pending")
+    _add_execution_flags(p)
     return parser
+
+
+def _single_dataset(args, default: str) -> str:
+    """Single-dataset artifacts (fig8, ablations) must not silently
+    drop extra --datasets entries."""
+    chosen = _dataset_list(args.datasets, (default,))
+    if len(chosen) > 1:
+        raise SystemExit(
+            f"{args.artifact} sweeps run one dataset at a time; "
+            f"got --datasets {args.datasets!r}"
+        )
+    return chosen[0]
+
+
+def _build_sweep(args):
+    """The chosen artifact's sweep plus its results->text renderer."""
+    overrides = {"rounds": args.rounds} if args.rounds is not None else None
+    seeds = _seed_list(args.seeds)
+    if args.artifact not in ("table1", "table2") and len(seeds) > 1:
+        raise SystemExit(
+            f"{args.artifact} sweeps are single-seed (only table1/table2 "
+            f"aggregate +/- columns over seeds); pass exactly one seed"
+        )
+    seed = seeds[0]
+    methods = _method_list(args.methods)
+    scale = args.scale
+
+    def grid(spec_fn, rows_fn, fmt, default_datasets, per_seed=False):
+        kwargs = {"scale": scale, "overrides": overrides}
+        if methods:
+            kwargs["methods"] = methods
+        if default_datasets is not None:
+            kwargs["datasets"] = _dataset_list(args.datasets, default_datasets)
+        kwargs.update({"seeds": seeds} if not per_seed else {"seed": seed})
+        return spec_fn(**kwargs), (lambda results: fmt(rows_fn(results)))
+
+    if args.artifact == "table1":
+        return grid(table1_spec, table1_rows, format_table1, TASK_NAMES)
+    if args.artifact == "table2":
+        return grid(table2_spec, table2_rows, format_table2, TASK_NAMES)
+    if args.artifact == "fig2":
+        if args.datasets:
+            raise SystemExit("fig2 is fixed to the ptb task; --datasets does not apply")
+        return grid(fig2_spec, fig2_result, format_fig2, None, per_seed=True)
+    if args.artifact == "fig6":
+        return grid(fig6_spec, fig6_panels, format_fig6,
+                    ("mnist", "wikitext2"), per_seed=True)
+    if args.artifact == "fig7":
+        return grid(fig7_spec, fig7_rows, format_fig7,
+                    ("mnist", "fmnist", "wikitext2", "reddit"), per_seed=True)
+    if args.artifact == "fig8":
+        dataset = _single_dataset(args, default="reddit")
+        kwargs = {"dataset": dataset, "scale": scale, "seed": seed,
+                  "overrides": overrides}
+        if methods:
+            kwargs["methods"] = methods
+        spec = fig8_spec(**kwargs)
+        return spec, (lambda results: format_fig8(fig8_rows(results, **kwargs)))
+    if methods:
+        raise SystemExit("ablations sweeps are fixed to fedbiad variants; "
+                         "--methods does not apply")
+    dataset = _single_dataset(args, default="fmnist")
+    spec = ablations_spec(dataset=dataset, scale=scale, seed=seed, overrides=overrides)
+    return spec, (
+        lambda results: format_ablations(
+            ablation_rows(results, dataset=dataset, scale=scale, seed=seed,
+                          overrides=overrides),
+            dataset,
+        )
+    )
+
+
+def _cmd_sweep(args, context: ExecutionContext) -> int:
+    spec, render = _build_sweep(args)
+    store = RunStore(args.store)
+    results = run_sweep(
+        spec,
+        store=store,
+        context=context,
+        shards=args.shards,
+        max_cells=args.max_cells,
+        reuse=args.resume,
+        progress=True,
+    )
+    print(
+        f"sweep {spec.name}: cells={len(results)} computed={results.computed} "
+        f"reused={results.reused} pending={results.pending} "
+        f"shards={args.shards} store={args.store}"
+    )
+    if results.complete:
+        print(render(results))
+    elif args.resume:
+        print(f"sweep incomplete: re-run the same command to resume the "
+              f"{results.pending} pending cell(s)")
+    else:
+        # --no-resume never consults the store, so re-running the same
+        # command would recompute the same prefix forever
+        print(f"sweep incomplete: {results.pending} cell(s) pending; re-run "
+              f"without --no-resume to keep this invocation's cells and "
+              f"compute the rest")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    backend = getattr(args, "backend", None)
-    workers = getattr(args, "workers", None)
-    if workers is not None and backend is None:
-        backend = "process"  # --workers only means anything to the pool
-    mode = getattr(args, "mode", None)
-    buffer_size = getattr(args, "buffer_size", None)
-    if buffer_size is not None and mode is None:
-        mode = "async"  # --buffer-size only means anything to the buffer
-    set_default_execution(
-        backend=backend,
-        workers=workers,
-        system=getattr(args, "device_profile", None),
-        mode=mode,
-        buffer_size=buffer_size,
-    )
+    context = context_from_args(args)
 
+    if args.command == "sweep":
+        return _cmd_sweep(args, context)
     if args.command == "table1":
-        rows = run_table1(datasets=_dataset_list(args.datasets, TASK_NAMES), scale=args.scale)
-        print(format_table1(rows))
+        spec = table1_spec(datasets=_dataset_list(args.datasets, TASK_NAMES),
+                           scale=args.scale)
+        print(format_table1(table1_rows(run_sweep(spec, context=context))))
     elif args.command == "table2":
-        rows = run_table2(datasets=_dataset_list(args.datasets, TASK_NAMES), scale=args.scale)
-        print(format_table2(rows))
+        spec = table2_spec(datasets=_dataset_list(args.datasets, TASK_NAMES),
+                           scale=args.scale)
+        print(format_table2(table2_rows(run_sweep(spec, context=context))))
     elif args.command == "fig2":
-        print(format_fig2(run_fig2(scale=args.scale)))
+        print(format_fig2(fig2_result(run_sweep(fig2_spec(scale=args.scale),
+                                                context=context))))
     elif args.command == "fig6":
         datasets = _dataset_list(args.datasets, ("mnist", "wikitext2"))
-        print(format_fig6(run_fig6(datasets=datasets, scale=args.scale)))
+        spec = fig6_spec(datasets=datasets, scale=args.scale)
+        print(format_fig6(fig6_panels(run_sweep(spec, context=context))))
     elif args.command == "fig7":
         datasets = _dataset_list(args.datasets, ("mnist", "fmnist", "wikitext2", "reddit"))
-        print(format_fig7(run_fig7(datasets=datasets, scale=args.scale)))
+        spec = fig7_spec(datasets=datasets, scale=args.scale)
+        print(format_fig7(fig7_rows(run_sweep(spec, context=context))))
     elif args.command == "fig8":
-        print(format_fig8(run_fig8(scale=args.scale)))
+        spec = fig8_spec(scale=args.scale)
+        print(format_fig8(fig8_rows(run_sweep(spec, context=context), scale=args.scale)))
     elif args.command == "ablations":
         dataset = _dataset_list(args.datasets, ("fmnist",))[0]
-        print(format_ablations(run_ablations(dataset=dataset, scale=args.scale), dataset))
+        spec = ablations_spec(dataset=dataset, scale=args.scale)
+        rows = ablation_rows(run_sweep(spec, context=context),
+                             dataset=dataset, scale=args.scale)
+        print(format_ablations(rows, dataset))
     elif args.command == "run":
         overrides = {}
         if args.rounds is not None:
@@ -155,7 +359,7 @@ def main(argv: list[str] | None = None) -> int:
             overrides["dropout_rate"] = args.dropout_rate
         result = run_experiment(
             args.task, args.method, scale=args.scale, seed=args.seed,
-            config_overrides=overrides or None,
+            config_overrides=overrides or None, context=context,
         )
         line = (
             f"{args.method} on {args.task}: best acc {result.best_accuracy:.4f}, "
@@ -166,15 +370,15 @@ def main(argv: list[str] | None = None) -> int:
             f", sim clock {result.sim_seconds:.3g}s"
             f", participation {100 * result.participation:.0f}%"
         )
-        if mode == "async":
+        if context.mode == "async":
             line += f", mean staleness {result.history.mean_staleness():.2f}"
         print(line)
-        if args.device_profile not in (None, "ideal"):
+        if context.system not in (None, "ideal"):
             per_round = ", ".join(
                 f"r{r.round_index}:{r.n_selected}/{r.n_scheduled}"
                 for r in result.history.records
             )
-            print(f"  per-round participation [{args.device_profile}]: {per_round}")
+            print(f"  per-round participation [{context.system}]: {per_round}")
     return 0
 
 

@@ -3,19 +3,24 @@
 The paper's point: FedDrop, AFD and Fjord fall *below* FedAvg on the
 LSTM next-word task, while FedBIAD does not suffer the same recurrent-
 dropout penalty.
+
+Declarative form: :func:`fig2_spec` (one PTB cell per method) +
+:func:`fig2_result`; ``run_fig2`` is a deprecated shim.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
 from .configs import FIG2_METHODS
 from .reporting import format_series
-from .runner import RunResult, run_experiment
+from .spec import SweepSpec
+from .sweep import SweepResult, run_sweep
 
-__all__ = ["Fig2Result", "run_fig2", "format_fig2"]
+__all__ = ["Fig2Result", "fig2_spec", "fig2_result", "run_fig2", "format_fig2"]
 
 
 @dataclass
@@ -26,22 +31,54 @@ class Fig2Result:
     test_accuracy: dict[str, np.ndarray]
 
 
+def fig2_spec(
+    methods: tuple[str, ...] = FIG2_METHODS,
+    scale: str | None = None,
+    seed: int = 0,
+    overrides: dict | None = None,
+) -> SweepSpec:
+    """Fig. 2's sweep: every method on the PTB-like task."""
+    return SweepSpec.grid(
+        "fig2", tasks=("ptb",), methods=methods, seeds=(seed,),
+        scale=scale, overrides=overrides,
+    )
+
+
+def fig2_result(results: SweepResult) -> Fig2Result:
+    """Assemble the figure's loss/accuracy curves from finished cells."""
+    methods: list[str] = []
+    test_loss: dict[str, np.ndarray] = {}
+    test_accuracy: dict[str, np.ndarray] = {}
+    rounds: np.ndarray | None = None
+    for cell, result in results:
+        if result is None:
+            raise LookupError(f"sweep incomplete: no result for cell {cell.label()}")
+        methods.append(cell.method)
+        test_loss[cell.method] = result.history.series("test_loss")
+        test_accuracy[cell.method] = result.history.series("test_accuracy")
+        if rounds is None:
+            rounds = result.history.series("round_index").astype(int)
+    return Fig2Result(
+        methods=tuple(methods),
+        rounds=rounds if rounds is not None else np.array([], dtype=int),
+        test_loss=test_loss,
+        test_accuracy=test_accuracy,
+    )
+
+
 def run_fig2(
     methods: tuple[str, ...] = FIG2_METHODS,
     scale: str | None = None,
     seed: int = 0,
 ) -> Fig2Result:
-    results: dict[str, RunResult] = {
-        m: run_experiment("ptb", m, scale=scale, seed=seed) for m in methods
-    }
-    any_history = next(iter(results.values())).history
-    rounds = any_history.series("round_index").astype(int)
-    return Fig2Result(
-        methods=tuple(methods),
-        rounds=rounds,
-        test_loss={m: r.history.series("test_loss") for m, r in results.items()},
-        test_accuracy={m: r.history.series("test_accuracy") for m, r in results.items()},
+    """Deprecated: regenerate Fig. 2 in one (serial) call; use
+    ``fig2_result(run_sweep(fig2_spec(...)))``."""
+    warnings.warn(
+        "run_fig2() is deprecated; use fig2_result(run_sweep(fig2_spec(...)))",
+        DeprecationWarning,
+        stacklevel=2,
     )
+    return fig2_result(run_sweep(fig2_spec(methods=methods, scale=scale, seed=seed)))
 
 
 def format_fig2(result: Fig2Result) -> str:

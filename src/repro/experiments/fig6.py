@@ -4,19 +4,24 @@ Panel (a) is the MNIST-like task (non-IID images), panel (b) the
 WikiText-2-like task; all seven Table-I methods are drawn.  The paper
 smooths panel (b) with a moving average — :func:`format_fig6` does the
 same.
+
+Declarative form: :func:`fig6_spec` + :func:`fig6_panels`; ``run_fig6``
+is a deprecated shim.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
 from .configs import TABLE1_METHODS
 from .reporting import format_series
-from .runner import run_experiment
+from .spec import SweepSpec
+from .sweep import SweepResult, run_sweep
 
-__all__ = ["Fig6Panel", "run_fig6", "format_fig6"]
+__all__ = ["Fig6Panel", "fig6_spec", "fig6_panels", "run_fig6", "format_fig6"]
 
 
 @dataclass
@@ -28,28 +33,60 @@ class Fig6Panel:
     test_accuracy: dict[str, np.ndarray]
 
 
+def fig6_spec(
+    datasets: tuple[str, ...] = ("mnist", "wikitext2"),
+    methods: tuple[str, ...] = TABLE1_METHODS,
+    scale: str | None = None,
+    seed: int = 0,
+    overrides: dict | None = None,
+) -> SweepSpec:
+    """Fig. 6's sweep: every Table-I method on each panel's dataset."""
+    return SweepSpec.grid(
+        "fig6", tasks=datasets, methods=methods, seeds=(seed,),
+        scale=scale, overrides=overrides,
+    )
+
+
+def fig6_panels(results: SweepResult) -> list[Fig6Panel]:
+    """Assemble per-dataset panels from finished cells (grid order
+    keeps cells of one dataset contiguous)."""
+    by_dataset: dict[str, list] = {}
+    for cell, result in results:
+        if result is None:
+            raise LookupError(f"sweep incomplete: no result for cell {cell.label()}")
+        by_dataset.setdefault(cell.task, []).append((cell.method, result))
+    panels = []
+    for dataset, methods_results in by_dataset.items():
+        rounds = methods_results[0][1].history.series("round_index").astype(int)
+        panels.append(
+            Fig6Panel(
+                dataset=dataset,
+                methods=tuple(m for m, _ in methods_results),
+                rounds=rounds,
+                train_loss={m: r.history.series("train_loss") for m, r in methods_results},
+                test_accuracy={
+                    m: r.history.series("test_accuracy") for m, r in methods_results
+                },
+            )
+        )
+    return panels
+
+
 def run_fig6(
     datasets: tuple[str, ...] = ("mnist", "wikitext2"),
     methods: tuple[str, ...] = TABLE1_METHODS,
     scale: str | None = None,
     seed: int = 0,
 ) -> list[Fig6Panel]:
-    panels = []
-    for dataset in datasets:
-        results = {m: run_experiment(dataset, m, scale=scale, seed=seed) for m in methods}
-        rounds = next(iter(results.values())).history.series("round_index").astype(int)
-        panels.append(
-            Fig6Panel(
-                dataset=dataset,
-                methods=tuple(methods),
-                rounds=rounds,
-                train_loss={m: r.history.series("train_loss") for m, r in results.items()},
-                test_accuracy={
-                    m: r.history.series("test_accuracy") for m, r in results.items()
-                },
-            )
-        )
-    return panels
+    """Deprecated: regenerate Fig. 6 in one (serial) call; use
+    ``fig6_panels(run_sweep(fig6_spec(...)))``."""
+    warnings.warn(
+        "run_fig6() is deprecated; use fig6_panels(run_sweep(fig6_spec(...)))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    spec = fig6_spec(datasets=datasets, methods=methods, scale=scale, seed=seed)
+    return fig6_panels(run_sweep(spec))
 
 
 def format_fig6(panels: list[Fig6Panel], smooth_window: int = 3) -> str:

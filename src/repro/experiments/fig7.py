@@ -6,18 +6,23 @@ host — absolute values differ, relative ordering is the target: FedBIAD
 slightly above the other dropout methods because of its pattern/score
 bookkeeping, yet lowest TTA thanks to fewer bits and fewer rounds to
 target).
+
+Declarative form: :func:`fig7_spec` + :func:`fig7_rows` (targets come
+from each cell's recorded scale); ``run_fig7`` is a deprecated shim.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from ..comm.network import TMOBILE_5G, NetworkModel
-from .configs import TTA_TARGETS, active_scale
+from .configs import TTA_TARGETS
 from .reporting import format_table
-from .runner import run_experiment
+from .spec import SweepSpec
+from .sweep import SweepResult, run_sweep
 
-__all__ = ["Fig7Row", "run_fig7", "format_fig7"]
+__all__ = ["Fig7Row", "fig7_spec", "fig7_rows", "run_fig7", "format_fig7"]
 
 #: the five methods drawn in Fig. 7's bars
 FIG7_METHODS = ("feddrop", "afd", "fjord", "fedmp", "fedbiad")
@@ -32,6 +37,41 @@ class Fig7Row:
     target_accuracy: float
 
 
+def fig7_spec(
+    datasets: tuple[str, ...] = ("mnist", "fmnist", "wikitext2", "reddit"),
+    methods: tuple[str, ...] = FIG7_METHODS,
+    scale: str | None = None,
+    seed: int = 0,
+    overrides: dict | None = None,
+) -> SweepSpec:
+    """Fig. 7's sweep: the five bar methods on each dataset."""
+    return SweepSpec.grid(
+        "fig7", tasks=datasets, methods=methods, seeds=(seed,),
+        scale=scale, overrides=overrides,
+    )
+
+
+def fig7_rows(results: SweepResult, network: NetworkModel = TMOBILE_5G) -> list[Fig7Row]:
+    """One row per finished cell, with the TTA target read from the
+    cell's scale (the spec records the resolved scale, so rows survive
+    ``REPRO_SCALE`` changing after the sweep ran)."""
+    rows = []
+    for cell, result in results:
+        if result is None:
+            raise LookupError(f"sweep incomplete: no result for cell {cell.label()}")
+        target = TTA_TARGETS[cell.scale][cell.task]
+        rows.append(
+            Fig7Row(
+                dataset=cell.task,
+                method=cell.method,
+                lttr_seconds=result.lttr,
+                tta_seconds=result.tta(target, network),
+                target_accuracy=target,
+            )
+        )
+    return rows
+
+
 def run_fig7(
     datasets: tuple[str, ...] = ("mnist", "fmnist", "wikitext2", "reddit"),
     methods: tuple[str, ...] = FIG7_METHODS,
@@ -39,22 +79,15 @@ def run_fig7(
     seed: int = 0,
     network: NetworkModel = TMOBILE_5G,
 ) -> list[Fig7Row]:
-    scale_name = scale or active_scale()
-    rows = []
-    for dataset in datasets:
-        target = TTA_TARGETS[scale_name][dataset]
-        for method in methods:
-            result = run_experiment(dataset, method, scale=scale, seed=seed)
-            rows.append(
-                Fig7Row(
-                    dataset=dataset,
-                    method=method,
-                    lttr_seconds=result.lttr,
-                    tta_seconds=result.tta(target, network),
-                    target_accuracy=target,
-                )
-            )
-    return rows
+    """Deprecated: regenerate Fig. 7 in one (serial) call; use
+    ``fig7_rows(run_sweep(fig7_spec(...)))``."""
+    warnings.warn(
+        "run_fig7() is deprecated; use fig7_rows(run_sweep(fig7_spec(...)))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    spec = fig7_spec(datasets=datasets, methods=methods, scale=scale, seed=seed)
+    return fig7_rows(run_sweep(spec), network=network)
 
 
 def format_fig7(rows: list[Fig7Row]) -> str:

@@ -3,18 +3,26 @@
 Panel (a): accuracy of FedAvg / FedDrop / AFD / FedBIAD at dropout
 rates 0.1-0.7 (FedAvg is flat — it ignores ``p``).  Panel (b): TTA at
 rates 0.3-0.6.
+
+Declarative form: :func:`fig8_spec` builds explicit cells (FedAvg's
+rows all share one cell — content addressing deduplicates it across
+rates) and :func:`fig8_rows` rebuilds the same cells to look results
+up, so both must be called with the same arguments; ``run_fig8`` is a
+deprecated shim doing exactly that.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from ..comm.network import TMOBILE_5G, NetworkModel
 from .configs import TTA_TARGETS, active_scale
 from .reporting import format_table
-from .runner import run_experiment
+from .spec import ExperimentSpec, SweepSpec
+from .sweep import SweepResult, run_sweep
 
-__all__ = ["Fig8Row", "run_fig8", "format_fig8"]
+__all__ = ["Fig8Row", "fig8_spec", "fig8_rows", "run_fig8", "format_fig8"]
 
 FIG8_METHODS = ("fedavg", "feddrop", "afd", "fedbiad")
 FIG8A_RATES = (0.1, 0.3, 0.5, 0.7)
@@ -29,7 +37,35 @@ class Fig8Row:
     tta_seconds: float | None
 
 
-def run_fig8(
+def _cells(dataset, methods, rates, scale, seed, overrides):
+    for rate in rates:
+        for method in methods:
+            cell_overrides = dict(overrides or {})
+            if method != "fedavg":
+                cell_overrides["dropout_rate"] = rate
+            yield ExperimentSpec.make(
+                dataset, method, scale=scale, seed=seed, overrides=cell_overrides
+            )
+
+
+def fig8_spec(
+    dataset: str = "reddit",
+    methods: tuple[str, ...] = FIG8_METHODS,
+    accuracy_rates: tuple[float, ...] = FIG8A_RATES,
+    tta_rates: tuple[float, ...] = FIG8B_RATES,
+    scale: str | None = None,
+    seed: int = 0,
+    overrides: dict | None = None,
+) -> SweepSpec:
+    """Fig. 8's sweep: each method at every dropout rate of both panels."""
+    rates = sorted(set(accuracy_rates) | set(tta_rates))
+    return SweepSpec.from_cells(
+        "fig8", _cells(dataset, methods, rates, scale, seed, overrides)
+    )
+
+
+def fig8_rows(
+    results: SweepResult,
     dataset: str = "reddit",
     methods: tuple[str, ...] = FIG8_METHODS,
     accuracy_rates: tuple[float, ...] = FIG8A_RATES,
@@ -37,16 +73,19 @@ def run_fig8(
     scale: str | None = None,
     seed: int = 0,
     network: NetworkModel = TMOBILE_5G,
+    overrides: dict | None = None,
 ) -> list[Fig8Row]:
+    """Rebuild the (rate, method) rows from a finished Fig. 8 sweep
+    (arguments must match the :func:`fig8_spec` call that produced it)."""
     scale_name = scale or active_scale()
     target = TTA_TARGETS[scale_name][dataset]
+    rates = sorted(set(accuracy_rates) | set(tta_rates))
     rows = []
-    for rate in sorted(set(accuracy_rates) | set(tta_rates)):
-        for method in methods:
-            overrides = {} if method == "fedavg" else {"dropout_rate": rate}
-            result = run_experiment(
-                dataset, method, scale=scale, seed=seed, config_overrides=overrides
-            )
+    for rate in rates:
+        for cell, method in zip(
+            _cells(dataset, methods, (rate,), scale, seed, overrides), methods
+        ):
+            result = results[cell]
             rows.append(
                 Fig8Row(
                     dropout_rate=rate,
@@ -56,6 +95,33 @@ def run_fig8(
                 )
             )
     return rows
+
+
+def run_fig8(
+    dataset: str = "reddit",
+    methods: tuple[str, ...] = FIG8_METHODS,
+    accuracy_rates: tuple[float, ...] = FIG8A_RATES,
+    tta_rates: tuple[float, ...] = FIG8B_RATES,
+    scale: str | None = None,
+    seed: int = 0,
+    network: NetworkModel = TMOBILE_5G,
+) -> list[Fig8Row]:
+    """Deprecated: regenerate Fig. 8 in one (serial) call; use
+    ``fig8_rows(run_sweep(fig8_spec(...)), ...)``."""
+    warnings.warn(
+        "run_fig8() is deprecated; use fig8_rows(run_sweep(fig8_spec(...)), ...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    spec = fig8_spec(
+        dataset=dataset, methods=methods, accuracy_rates=accuracy_rates,
+        tta_rates=tta_rates, scale=scale, seed=seed,
+    )
+    return fig8_rows(
+        run_sweep(spec), dataset=dataset, methods=methods,
+        accuracy_rates=accuracy_rates, tta_rates=tta_rates,
+        scale=scale, seed=seed, network=network,
+    )
 
 
 def format_fig8(rows: list[Fig8Row]) -> str:

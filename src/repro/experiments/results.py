@@ -1,0 +1,56 @@
+"""The result record of one federated simulation run.
+
+:class:`RunResult` lives in its own module (rather than in
+:mod:`repro.experiments.runner`) so the on-disk
+:class:`~repro.experiments.store.RunStore` can serialize it without
+importing the runner; the runner re-exports it for compatibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..comm.network import TMOBILE_5G
+from ..comm.timing import preferred_time_to_accuracy, time_to_accuracy
+from ..fl.metrics import History
+
+__all__ = ["RunResult"]
+
+
+@dataclass
+class RunResult:
+    """One simulation run plus its derived Table/Figure quantities."""
+
+    task_name: str
+    method_spec: str
+    history: History
+    final_accuracy: float
+    best_accuracy: float
+    upload_bits: float  # mean per-client per-round
+    dense_bits: int
+    lttr: float
+    sim_seconds: float = 0.0  # virtual-clock duration of the whole run
+    participation: float = 1.0  # mean fraction of scheduled clients on time
+
+    @property
+    def save_ratio(self) -> float:
+        """Table I's 'Save Ratio': dense upload / method upload."""
+        return self.dense_bits / self.upload_bits
+
+    def tta(self, target: float, network=TMOBILE_5G) -> float | None:
+        """Time-to-accuracy on the basis valid for this run's mode.
+
+        Sync histories use the paper's post-hoc barrier composition
+        (Fig. 7 methodology); async histories *must* read the virtual
+        clock — the barrier model does not describe buffer flushes —
+        so Fig. 7/8-style regeneration stays correct under
+        ``--mode async`` with no caller changes.
+        """
+        if self.history.is_async:
+            return preferred_time_to_accuracy(self.history, target, network)
+        return time_to_accuracy(self.history, target, network)
+
+    def sim_tta(self, target: float, network=TMOBILE_5G) -> float | None:
+        """TTA on the preferred basis (virtual clock when available) —
+        the one valid for both sync and async histories."""
+        return preferred_time_to_accuracy(self.history, target, network)

@@ -1,30 +1,40 @@
-"""Experiment runner with in-process caching.
+"""Experiment runner: one cell in, one :class:`RunResult` out.
 
 Several tables and figures reuse the same (task, method, config) runs —
 Table I, Fig. 6 and Fig. 7 all consume the FedAvg/MNIST history, for
-example.  :func:`run_experiment` memoizes by a structural key so the
-benchmark harness never repeats a simulation within one process.
+example — so :func:`run_experiment` memoizes through a run store keyed
+by the structural cell hash of :class:`~repro.experiments.spec.ExperimentSpec`.
+The default store is an in-process :class:`~repro.experiments.store.MemoryRunStore`;
+pass a persistent :class:`~repro.experiments.store.RunStore` (as the
+sweep scheduler does) to share results across processes and sessions.
+
+Execution choices (backend/workers/system/mode/buffer_size) arrive as
+an explicit :class:`~repro.experiments.context.ExecutionContext` rather
+than through the historical ``set_default_execution`` process-global,
+which survives only as a deprecated shim.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
 
 import numpy as np
 
 from ..baselines.registry import METHOD_NAMES, make_method
-from ..comm.network import TMOBILE_5G
-from ..comm.timing import lttr_seconds, preferred_time_to_accuracy, time_to_accuracy
-from ..compression.registry import COMPRESSOR_NAMES, make_sketched
+from ..comm.timing import lttr_seconds
+from ..compression.registry import make_sketched
 from ..data.registry import make_task
 from ..fl.client import FederatedMethod
 from ..fl.config import FLConfig
-from ..fl.metrics import History
 from ..fl.parameters import ParamSet
 from ..fl.simulation import run_simulation
 from ..fl.sizing import dense_bits
 from ..nn.models import build_model
 from .configs import ExperimentPreset, preset_for
+from .context import ExecutionContext
+from .results import RunResult
+from .spec import ExperimentSpec
+from .store import MemoryRunStore, RunStore
 
 __all__ = [
     "RunResult",
@@ -35,14 +45,29 @@ __all__ = [
     "set_default_execution",
 ]
 
-_CACHE: dict[tuple, "RunResult"] = {}
 _TASK_CACHE: dict[tuple, object] = {}
 
-#: Process-wide execution defaults applied by :func:`run_experiment`
-#: when neither ``config_overrides`` nor explicit kwargs choose them.
-#: Lets the CLI select a backend/device profile once for *every*
-#: figure/table experiment without threading flags through each module.
-_EXECUTION_DEFAULTS: dict[str, object] = {}
+#: The in-process memo every :func:`run_experiment` call without an
+#: explicit ``store`` shares (the old module-global ``_CACHE``).
+_DEFAULT_STORE = MemoryRunStore()
+
+#: Fallback context for calls that pass ``context=None``; mutated only
+#: by the deprecated :func:`set_default_execution` shim.
+_FALLBACK_CONTEXT = ExecutionContext()
+
+
+def _default_store() -> MemoryRunStore:
+    return _DEFAULT_STORE
+
+
+def _default_context() -> ExecutionContext:
+    return _FALLBACK_CONTEXT
+
+
+def _set_default_context(context: ExecutionContext | None) -> None:
+    """Reset hook for tests and the deprecated shim below."""
+    global _FALLBACK_CONTEXT
+    _FALLBACK_CONTEXT = context or ExecutionContext()
 
 
 def set_default_execution(
@@ -52,57 +77,26 @@ def set_default_execution(
     mode: str | None = None,
     buffer_size: int | None = None,
 ) -> None:
-    """Set process-wide execution defaults (``None`` leaves FLConfig's)."""
-    _EXECUTION_DEFAULTS.clear()
-    if backend is not None:
-        _EXECUTION_DEFAULTS["backend"] = backend
-    if workers is not None:
-        _EXECUTION_DEFAULTS["workers"] = workers
-    if system is not None:
-        _EXECUTION_DEFAULTS["system"] = system
-    if mode is not None:
-        _EXECUTION_DEFAULTS["mode"] = mode
-    if buffer_size is not None:
-        _EXECUTION_DEFAULTS["buffer_size"] = buffer_size
+    """Deprecated: set process-wide execution defaults.
 
-
-@dataclass
-class RunResult:
-    """One simulation run plus its derived Table/Figure quantities."""
-
-    task_name: str
-    method_spec: str
-    history: History
-    final_accuracy: float
-    best_accuracy: float
-    upload_bits: float  # mean per-client per-round
-    dense_bits: int
-    lttr: float
-    sim_seconds: float = 0.0  # virtual-clock duration of the whole run
-    participation: float = 1.0  # mean fraction of scheduled clients on time
-
-    @property
-    def save_ratio(self) -> float:
-        """Table I's 'Save Ratio': dense upload / method upload."""
-        return self.dense_bits / self.upload_bits
-
-    def tta(self, target: float, network=TMOBILE_5G) -> float | None:
-        """Time-to-accuracy on the basis valid for this run's mode.
-
-        Sync histories use the paper's post-hoc barrier composition
-        (Fig. 7 methodology); async histories *must* read the virtual
-        clock — the barrier model does not describe buffer flushes —
-        so Fig. 7/8-style regeneration stays correct under
-        ``--mode async`` with no caller changes.
-        """
-        if self.history.is_async:
-            return preferred_time_to_accuracy(self.history, target, network)
-        return time_to_accuracy(self.history, target, network)
-
-    def sim_tta(self, target: float, network=TMOBILE_5G) -> float | None:
-        """TTA on the preferred basis (virtual clock when available) —
-        the one valid for both sync and async histories."""
-        return preferred_time_to_accuracy(self.history, target, network)
+    Build an :class:`~repro.experiments.context.ExecutionContext` and
+    pass it to :func:`run_experiment` /
+    :func:`~repro.experiments.sweep.run_sweep` instead — explicit
+    contexts compose (two sweeps in one process can use different
+    backends) where this global cannot.
+    """
+    warnings.warn(
+        "set_default_execution() is deprecated; pass an ExecutionContext "
+        "to run_experiment(context=...) or run_sweep(context=...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    _set_default_context(
+        ExecutionContext(
+            backend=backend, workers=workers, system=system,
+            mode=mode, buffer_size=buffer_size,
+        )
+    )
 
 
 def resolve_method(spec: str, preset: ExperimentPreset | None = None, **kwargs) -> FederatedMethod:
@@ -142,21 +136,29 @@ def run_experiment(
     config_overrides: dict | None = None,
     method_kwargs: dict | None = None,
     use_cache: bool = True,
+    context: ExecutionContext | None = None,
+    store: MemoryRunStore | RunStore | None = None,
     backend: str | None = None,
     workers: int | None = None,
     system: str | None = None,
     mode: str | None = None,
     buffer_size: int | None = None,
 ) -> RunResult:
-    """Run (or fetch from cache) one federated simulation.
+    """Run (or fetch from ``store``) one federated simulation.
 
-    ``backend``/``workers``/``system``/``mode``/``buffer_size`` select
-    the execution backend, device profile and server discipline; unset
-    values fall back to ``config_overrides``, then to
-    :func:`set_default_execution`, then to ``FLConfig`` defaults.
+    Precedence for execution/config choices, lowest to highest: the
+    preset's ``FLConfig``, ``context`` (or the deprecated process-wide
+    default), ``config_overrides``, then the explicit
+    ``backend``/``workers``/``system``/``mode``/``buffer_size`` kwargs.
+
+    The cache key is the *structural* cell hash: ``backend`` and
+    ``workers`` never miss the cache (the engine is bit-identical
+    across them), while anything that changes the simulated trajectory
+    (seed, scale, any other override, ``method_kwargs``) does.
     """
     preset = preset_for(task_name, scale)
-    overrides = dict(_EXECUTION_DEFAULTS)
+    ctx = context if context is not None else _default_context()
+    overrides = ctx.overrides()
     overrides.update(config_overrides or {})
     for name, value in (
         ("backend", backend),
@@ -168,10 +170,15 @@ def run_experiment(
         if value is not None:
             overrides[name] = value
     fl: FLConfig = preset.fl.with_overrides(seed=seed, **overrides)
-    key = (task_name, preset.scale, method_spec, seed, tuple(sorted(overrides.items())),
-           tuple(sorted((method_kwargs or {}).items())))
-    if use_cache and key in _CACHE:
-        return _CACHE[key]
+    spec = ExperimentSpec.make(
+        task_name, method_spec, scale=preset.scale, seed=seed,
+        overrides=overrides, method_kwargs=method_kwargs,
+    )
+    store = store if store is not None else _default_store()
+    if use_cache:
+        cached = store.get(spec)
+        if cached is not None:
+            return cached
 
     task = cached_task(task_name, preset.scale, preset.data_seed)
     method = resolve_method(method_spec, preset, **(method_kwargs or {}))
@@ -189,11 +196,11 @@ def run_experiment(
         participation=float(history.participation().mean()) if len(history) else 1.0,
     )
     if use_cache:
-        _CACHE[key] = result
+        store.put(spec, result)
     return result
 
 
 def clear_cache() -> None:
     """Drop all memoized runs and tasks (used between test sessions)."""
-    _CACHE.clear()
+    _DEFAULT_STORE.clear()
     _TASK_CACHE.clear()

@@ -1,7 +1,16 @@
-"""Table I: accuracy / upload size / save ratio, 7 methods x 5 datasets."""
+"""Table I: accuracy / upload size / save ratio, 7 methods x 5 datasets.
+
+Declarative form: :func:`table1_spec` expands the paper's grid into a
+:class:`~repro.experiments.spec.SweepSpec`, any scheduler
+(:func:`~repro.experiments.sweep.run_sweep`, the CLI ``sweep``
+subcommand) executes it, and :func:`table1_rows` folds the finished
+cells back into the paper's row order.  The historical ``run_table1``
+survives as a deprecated one-call shim over the same pieces.
+"""
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -10,9 +19,17 @@ from ..data.registry import TASK_NAMES
 from ..fl.sizing import format_bytes
 from .configs import TABLE1_METHODS
 from .reporting import format_table, pm
-from .runner import run_experiment
+from .spec import SweepSpec
+from .sweep import SweepResult, run_sweep
 
-__all__ = ["Table1Row", "run_table1", "format_table1"]
+__all__ = [
+    "Table1Row",
+    "table1_spec",
+    "table1_rows",
+    "fold_accuracy_rows",
+    "run_table1",
+    "format_table1",
+]
 
 
 @dataclass
@@ -25,38 +42,75 @@ class Table1Row:
     save_ratio: float
 
 
+def table1_spec(
+    datasets: tuple[str, ...] = TASK_NAMES,
+    methods: tuple[str, ...] = TABLE1_METHODS,
+    scale: str | None = None,
+    seeds: tuple[int, ...] = (0,),
+    overrides: dict | None = None,
+) -> SweepSpec:
+    """Table I's (dataset x method x seed) grid as a sweep."""
+    return SweepSpec.grid(
+        "table1", tasks=datasets, methods=methods, seeds=seeds,
+        scale=scale, overrides=overrides,
+    )
+
+
+def fold_accuracy_rows(results: SweepResult, row_cls):
+    """Shared Table I/II fold: group finished cells by (dataset, method)
+    in grid order and aggregate over seeds into ``row_cls`` rows.
+
+    Accuracy is the mean of each run's best evaluated test accuracy,
+    with the sample std (ddof=1) over seeds when more than one seed
+    ran (0.0 for a single seed); upload size is the mean per-client,
+    per-round payload; save ratio is relative to FedAvg's dense upload.
+    """
+    groups: dict[tuple[str, str], list] = {}
+    for cell, result in results:
+        if result is None:
+            raise LookupError(f"sweep incomplete: no result for cell {cell.label()}")
+        groups.setdefault((cell.task, cell.method), []).append(result)
+    rows = []
+    for (dataset, method), runs in groups.items():
+        accs = np.array([r.best_accuracy for r in runs])
+        upload_bits = float(np.mean([r.upload_bits for r in runs]))
+        rows.append(
+            row_cls(
+                dataset=dataset,
+                method=method,
+                accuracy_mean=float(accs.mean()),
+                accuracy_std=float(accs.std(ddof=1)) if accs.size > 1 else 0.0,
+                upload_bytes=upload_bits / 8.0,
+                save_ratio=runs[0].dense_bits / upload_bits,
+            )
+        )
+    return rows
+
+
+def table1_rows(results: SweepResult) -> list[Table1Row]:
+    """Fold a finished Table I sweep into the paper's rows (see
+    :func:`fold_accuracy_rows` for the aggregation rules)."""
+    return fold_accuracy_rows(results, Table1Row)
+
+
 def run_table1(
     datasets: tuple[str, ...] = TASK_NAMES,
     methods: tuple[str, ...] = TABLE1_METHODS,
     scale: str | None = None,
     seeds: tuple[int, ...] = (0,),
 ) -> list[Table1Row]:
-    """Regenerate Table I's rows.
+    """Deprecated: regenerate Table I's rows in one (serial) call.
 
-    Accuracy is the mean (± std over ``seeds``) of each run's best
-    evaluated test accuracy; upload size is the mean per-client,
-    per-round payload; save ratio is relative to FedAvg's dense upload.
+    Use ``table1_rows(run_sweep(table1_spec(...)))`` — the sweep form
+    shards across processes, persists to a store and resumes.
     """
-    rows = []
-    for dataset in datasets:
-        for method in methods:
-            results = [
-                run_experiment(dataset, method, scale=scale, seed=seed) for seed in seeds
-            ]
-            accs = np.array([r.best_accuracy for r in results])
-            upload_bits = float(np.mean([r.upload_bits for r in results]))
-            dense = results[0].dense_bits
-            rows.append(
-                Table1Row(
-                    dataset=dataset,
-                    method=method,
-                    accuracy_mean=float(accs.mean()),
-                    accuracy_std=float(accs.std()),
-                    upload_bytes=upload_bits / 8.0,
-                    save_ratio=dense / upload_bits,
-                )
-            )
-    return rows
+    warnings.warn(
+        "run_table1() is deprecated; use table1_rows(run_sweep(table1_spec(...)))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    spec = table1_spec(datasets=datasets, methods=methods, scale=scale, seeds=seeds)
+    return table1_rows(run_sweep(spec))
 
 
 def format_table1(rows: list[Table1Row]) -> str:

@@ -1,18 +1,24 @@
-"""Table II: sketched compression vs FedBIAD+DGC."""
+"""Table II: sketched compression vs FedBIAD+DGC.
+
+Declarative form mirrors :mod:`repro.experiments.table1`:
+:func:`table2_spec` + :func:`table2_rows`, with ``run_table2`` as a
+deprecated shim.
+"""
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-
-import numpy as np
 
 from ..data.registry import TASK_NAMES
 from ..fl.sizing import format_bytes
 from .configs import TABLE2_METHODS
 from .reporting import format_table, pm
-from .runner import run_experiment
+from .spec import SweepSpec
+from .sweep import SweepResult, run_sweep
+from .table1 import fold_accuracy_rows
 
-__all__ = ["Table2Row", "run_table2", "format_table2"]
+__all__ = ["Table2Row", "table2_spec", "table2_rows", "run_table2", "format_table2"]
 
 
 @dataclass
@@ -25,32 +31,42 @@ class Table2Row:
     save_ratio: float
 
 
+def table2_spec(
+    datasets: tuple[str, ...] = TASK_NAMES,
+    methods: tuple[str, ...] = TABLE2_METHODS,
+    scale: str | None = None,
+    seeds: tuple[int, ...] = (0,),
+    overrides: dict | None = None,
+) -> SweepSpec:
+    """Table II's (dataset x method x seed) grid as a sweep."""
+    return SweepSpec.grid(
+        "table2", tasks=datasets, methods=methods, seeds=seeds,
+        scale=scale, overrides=overrides,
+    )
+
+
+def table2_rows(results: SweepResult) -> list[Table2Row]:
+    """Fold a finished Table II sweep into rows (save ratios are
+    relative to dense FedAvg; aggregation rules shared with Table I —
+    see :func:`~repro.experiments.table1.fold_accuracy_rows`)."""
+    return fold_accuracy_rows(results, Table2Row)
+
+
 def run_table2(
     datasets: tuple[str, ...] = TASK_NAMES,
     methods: tuple[str, ...] = TABLE2_METHODS,
     scale: str | None = None,
     seeds: tuple[int, ...] = (0,),
 ) -> list[Table2Row]:
-    """Regenerate Table II (save ratios are relative to dense FedAvg)."""
-    rows = []
-    for dataset in datasets:
-        for method in methods:
-            results = [
-                run_experiment(dataset, method, scale=scale, seed=seed) for seed in seeds
-            ]
-            accs = np.array([r.best_accuracy for r in results])
-            upload_bits = float(np.mean([r.upload_bits for r in results]))
-            rows.append(
-                Table2Row(
-                    dataset=dataset,
-                    method=method,
-                    accuracy_mean=float(accs.mean()),
-                    accuracy_std=float(accs.std()),
-                    upload_bytes=upload_bits / 8.0,
-                    save_ratio=results[0].dense_bits / upload_bits,
-                )
-            )
-    return rows
+    """Deprecated: regenerate Table II in one (serial) call; use
+    ``table2_rows(run_sweep(table2_spec(...)))``."""
+    warnings.warn(
+        "run_table2() is deprecated; use table2_rows(run_sweep(table2_spec(...)))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    spec = table2_spec(datasets=datasets, methods=methods, scale=scale, seeds=seeds)
+    return table2_rows(run_sweep(spec))
 
 
 def format_table2(rows: list[Table2Row]) -> str:

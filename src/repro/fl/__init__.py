@@ -3,6 +3,9 @@
 from .aggregation import AGGREGATION_MODES, ClientPayload, aggregate
 from .async_aggregation import ASYNC_VIRTUAL_LTTR_SECONDS, AsyncFederatedSimulation
 from .checkpoints import (
+    dumps_nan_safe,
+    history_from_payload,
+    history_to_payload,
     load_history,
     load_params,
     restore_checkpoint,
@@ -54,6 +57,9 @@ __all__ = [
     "aggregate",
     "ASYNC_VIRTUAL_LTTR_SECONDS",
     "AsyncFederatedSimulation",
+    "dumps_nan_safe",
+    "history_from_payload",
+    "history_to_payload",
     "load_history",
     "load_params",
     "restore_checkpoint",

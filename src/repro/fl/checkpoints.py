@@ -24,6 +24,9 @@ from .parameters import ParamSet
 __all__ = [
     "save_params",
     "load_params",
+    "history_to_payload",
+    "history_from_payload",
+    "dumps_nan_safe",
     "save_history",
     "load_history",
     "save_checkpoint",
@@ -44,15 +47,33 @@ def load_params(path: str | Path) -> ParamSet:
         return ParamSet({name: archive[name].copy() for name in archive.files})
 
 
-def save_history(history: History, path: str | Path) -> None:
-    """Write a run history to JSON (NaN-safe)."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    payload = {
+def history_to_payload(history: History) -> dict:
+    """A run history as a JSON-ready payload (shared by
+    :func:`save_history` and the experiments
+    :class:`~repro.experiments.store.RunStore`)."""
+    return {
         "method": history.method,
         "task": history.task,
         "records": [asdict(r) for r in history.records],
     }
+
+
+def history_from_payload(payload: dict) -> History:
+    """Rebuild a :class:`History` from :func:`history_to_payload` output
+    (restoring the NaNs that JSON encoded as null)."""
+    history = History(method=payload["method"], task=payload["task"])
+    for raw in payload["records"]:
+        raw = dict(raw)
+        for key in ("train_loss", "test_loss", "test_accuracy"):
+            if raw[key] is None:
+                raw[key] = float("nan")
+        history.append(RoundRecord(**raw))
+    return history
+
+
+def dumps_nan_safe(payload) -> str:
+    """JSON-encode ``payload``, downcasting numpy scalars and writing
+    NaN (which JSON lacks) as null."""
 
     def default(o):
         if isinstance(o, (np.integer,)):
@@ -62,9 +83,14 @@ def save_history(history: History, path: str | Path) -> None:
         raise TypeError(f"not JSON-serializable: {type(o)}")
 
     # JSON has no NaN; encode as null and decode back
-    text = json.dumps(payload, default=default)
-    text = text.replace("NaN", "null")
-    path.write_text(text)
+    return json.dumps(payload, default=default).replace("NaN", "null")
+
+
+def save_history(history: History, path: str | Path) -> None:
+    """Write a run history to JSON (NaN-safe)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(dumps_nan_safe(history_to_payload(history)))
 
 
 def save_checkpoint(sim, path: str | Path) -> None:
@@ -96,11 +122,4 @@ def restore_checkpoint(sim, path: str | Path) -> None:
 
 def load_history(path: str | Path) -> History:
     """Read a history written by :func:`save_history`."""
-    payload = json.loads(Path(path).read_text())
-    history = History(method=payload["method"], task=payload["task"])
-    for raw in payload["records"]:
-        for key in ("train_loss", "test_loss", "test_accuracy"):
-            if raw[key] is None:
-                raw[key] = float("nan")
-        history.append(RoundRecord(**raw))
-    return history
+    return history_from_payload(json.loads(Path(path).read_text()))

@@ -4,12 +4,59 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments.runner import set_default_execution
+from repro.experiments import runner
+from repro.experiments.results import RunResult
+from repro.fl.metrics import History, RoundRecord
 
 
 @pytest.fixture(autouse=True)
-def _reset_execution_defaults():
-    """cli.main() sets process-wide execution defaults; clear them so no
-    test leaks a backend/device profile into later run_experiment calls."""
+def _reset_default_context():
+    """The deprecated set_default_execution() shim mutates the runner's
+    fallback context; reset it so no test leaks a backend/device profile
+    into later run_experiment calls."""
     yield
-    set_default_execution()
+    runner._set_default_context(None)
+
+
+@pytest.fixture
+def make_result():
+    """Factory for synthetic RunResults — store/shim tests exercise the
+    sweep plumbing without paying for real simulations."""
+
+    def factory(
+        task: str = "mnist",
+        method: str = "fedavg",
+        accs: tuple[float, ...] = (0.5, 0.6),
+        upload_bits: float = 800.0,
+        dense_bits: int = 1600,
+    ) -> RunResult:
+        history = History(method=method, task=task)
+        for i, acc in enumerate(accs):
+            history.append(
+                RoundRecord(
+                    round_index=i,
+                    train_loss=1.0 - 0.1 * i,
+                    test_loss=1.2 - 0.1 * i,
+                    test_accuracy=acc,
+                    upload_bits_mean=upload_bits,
+                    upload_bits_total=int(upload_bits * 10),
+                    download_bits_per_client=dense_bits,
+                    n_selected=10,
+                    lttr_seconds_mean=0.01,
+                    aggregation_seconds=0.001,
+                )
+            )
+        return RunResult(
+            task_name=task,
+            method_spec=method,
+            history=history,
+            final_accuracy=accs[-1],
+            best_accuracy=max(accs),
+            upload_bits=upload_bits,
+            dense_bits=dense_bits,
+            lttr=0.01,
+            sim_seconds=1.0,
+            participation=1.0,
+        )
+
+    return factory

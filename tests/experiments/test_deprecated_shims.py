@@ -1,0 +1,114 @@
+"""The historical run_table1/run_table2/run_fig* one-call entry points
+must keep working as deprecation shims over the sweep API.
+
+Real grids at preset scale are far too slow for unit tests, so the
+cell executor is stubbed with synthetic results; what's under test is
+the shim wiring (warning, spec expansion, row folding), not the
+simulations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    clear_cache,
+    run_ablations,
+    run_fig2,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_table1,
+    run_table2,
+)
+from repro.experiments import runner, sweep
+from repro.experiments.ablations import ABLATIONS
+from repro.experiments.runner import set_default_execution
+
+
+@pytest.fixture(autouse=True)
+def stub_executor(monkeypatch, make_result):
+    """Replace the sweep cell executor with a synthetic-result factory
+    (accuracy varies with the seed so std aggregation is observable)."""
+
+    def fake_execute_cell(spec, context, store, reuse):
+        result = make_result(
+            task=spec.task,
+            method=spec.method,
+            accs=(0.4, 0.5 + 0.1 * spec.seed),
+        )
+        store.put(spec, result)
+        return result
+
+    monkeypatch.setattr(sweep, "_execute_cell", fake_execute_cell)
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestShimsWarnAndRun:
+    def test_run_table1(self):
+        with pytest.warns(DeprecationWarning, match="run_table1"):
+            rows = run_table1(datasets=("mnist",), methods=("fedavg",), seeds=(0,))
+        assert len(rows) == 1
+        assert rows[0].dataset == "mnist" and rows[0].method == "fedavg"
+
+    def test_run_table2(self):
+        with pytest.warns(DeprecationWarning, match="run_table2"):
+            rows = run_table2(datasets=("mnist",), methods=("dgc",), seeds=(0,))
+        assert len(rows) == 1
+
+    def test_run_fig2(self):
+        with pytest.warns(DeprecationWarning, match="run_fig2"):
+            result = run_fig2(methods=("fedavg", "fedbiad"))
+        assert result.methods == ("fedavg", "fedbiad")
+        assert set(result.test_loss) == {"fedavg", "fedbiad"}
+
+    def test_run_fig6(self):
+        with pytest.warns(DeprecationWarning, match="run_fig6"):
+            panels = run_fig6(datasets=("mnist",), methods=("fedavg",))
+        assert len(panels) == 1
+        assert panels[0].dataset == "mnist"
+
+    def test_run_fig7(self):
+        with pytest.warns(DeprecationWarning, match="run_fig7"):
+            rows = run_fig7(datasets=("mnist",), methods=("fedavg",))
+        assert len(rows) == 1
+        assert rows[0].dataset == "mnist"
+
+    def test_run_fig8(self):
+        with pytest.warns(DeprecationWarning, match="run_fig8"):
+            rows = run_fig8(methods=("fedavg", "fedbiad"))
+        # one row per (rate, method); fedavg rows share one deduped cell
+        rates = {r.dropout_rate for r in rows}
+        assert len(rows) == 2 * len(rates)
+
+    def test_run_ablations(self):
+        with pytest.warns(DeprecationWarning, match="run_ablations"):
+            rows = run_ablations(dataset="fmnist")
+        assert [r.name for r in rows] == [label for label, _, _ in ABLATIONS]
+
+    def test_set_default_execution_warns(self):
+        with pytest.warns(DeprecationWarning, match="ExecutionContext"):
+            set_default_execution(backend="serial")
+        assert runner._default_context().backend == "serial"
+
+
+class TestTable1Satellites:
+    def test_empty_seeds_guarded(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="seeds"):
+                run_table1(datasets=("mnist",), methods=("fedavg",), seeds=())
+
+    def test_multi_seed_std_is_sample_std(self):
+        with pytest.warns(DeprecationWarning):
+            rows = run_table1(datasets=("mnist",), methods=("fedavg",), seeds=(0, 1))
+        # stub accuracies: best acc 0.5 at seed 0, 0.6 at seed 1
+        assert rows[0].accuracy_mean == pytest.approx(0.55)
+        assert rows[0].accuracy_std == pytest.approx(np.std([0.5, 0.6], ddof=1))
+
+    def test_single_seed_std_is_zero(self):
+        with pytest.warns(DeprecationWarning):
+            rows = run_table1(datasets=("mnist",), methods=("fedavg",), seeds=(0,))
+        assert rows[0].accuracy_std == 0.0

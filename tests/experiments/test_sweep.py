@@ -1,0 +1,178 @@
+"""Tests for the sharded, resumable sweep scheduler.
+
+The acceptance bar: a sharded sweep over a Table-I-shaped grid produces
+bit-identical rows to the serial path at any shard count, and re-running
+after an interruption recomputes only the unfinished cells (verified by
+the scheduler's computed/reused counters).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    ExecutionContext,
+    MemoryRunStore,
+    RunStore,
+    SweepScheduler,
+    run_sweep,
+    table1_rows,
+    table1_spec,
+)
+
+#: smoke-scale overrides: every cell finishes in well under a second
+FAST = {"rounds": 2, "local_iterations": 3, "eval_every": 1}
+
+
+def tiny_spec(datasets=("mnist",), methods=("fedavg", "fedbiad"), seeds=(0, 1)):
+    return table1_spec(datasets=datasets, methods=methods, seeds=seeds, overrides=FAST)
+
+
+@pytest.fixture(scope="module")
+def serial_rows():
+    """Reference rows from the plain serial in-process path."""
+    return table1_rows(run_sweep(tiny_spec(), store=MemoryRunStore()))
+
+
+class TestSerialEquivalence:
+    def test_shard_counts_match_serial_rows(self, serial_rows, tmp_path):
+        # shards=2 covers the pool path; the 4-shard case (more shards
+        # than some shard lists can fill) lives in the slow marker below.
+        results = run_sweep(tiny_spec(), store=RunStore(tmp_path / "s2"), shards=2)
+        assert results.complete
+        assert table1_rows(results) == serial_rows
+
+    @pytest.mark.slow
+    def test_four_shards_match_serial_rows(self, serial_rows, tmp_path):
+        results = run_sweep(tiny_spec(), store=RunStore(tmp_path / "s4"), shards=4)
+        assert table1_rows(results) == serial_rows
+
+    def test_single_shard_disk_matches_serial_rows(self, serial_rows, tmp_path):
+        results = run_sweep(tiny_spec(), store=RunStore(tmp_path / "s1"), shards=1)
+        assert table1_rows(results) == serial_rows
+
+
+class TestResume:
+    def test_interrupted_sweep_resumes_only_incomplete_cells(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        first = run_sweep(tiny_spec(), store=store, max_cells=3)
+        assert first.computed == 3
+        assert first.pending == 1
+        assert not first.complete
+
+        second = run_sweep(tiny_spec(), store=store)
+        assert second.computed == 1  # only the cell the store was missing
+        assert second.reused == 3
+        assert second.complete
+
+    def test_resume_after_deleting_one_cell(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        run_sweep(tiny_spec(), store=store)
+        victim = tiny_spec().cells[2]
+        store.path_for(victim).unlink()
+
+        again = run_sweep(tiny_spec(), store=store)
+        assert again.computed == 1
+        assert again.reused == 3
+
+    def test_corrupt_cell_is_recomputed_on_resume(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        run_sweep(tiny_spec(), store=store)
+        victim = tiny_spec().cells[0]
+        store.path_for(victim).write_text("not json")
+
+        again = run_sweep(tiny_spec(), store=store)
+        assert again.computed == 1
+        assert again.reused == 3
+        assert again.complete
+
+    def test_no_reuse_recomputes_everything(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        run_sweep(tiny_spec(), store=store)
+        fresh = run_sweep(tiny_spec(), store=store, reuse=False)
+        assert fresh.computed == 4
+        assert fresh.reused == 0
+
+    def test_no_reuse_with_budget_does_not_backfill_stale_cells(self, tmp_path):
+        """reuse=False promises recomputation, so cells the budget cut
+        must stay pending rather than silently serving old store
+        entries as if they were fresh."""
+        store = RunStore(tmp_path / "store")
+        run_sweep(tiny_spec(), store=store)
+        partial = run_sweep(tiny_spec(), store=store, reuse=False, max_cells=1)
+        assert partial.computed == 1
+        assert partial.reused == 0
+        assert partial.pending == 3
+        assert not partial.complete
+
+    def test_sharded_resume_of_sharded_interrupt(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        first = run_sweep(tiny_spec(), store=store, shards=2, max_cells=2)
+        assert first.computed == 2 and first.pending == 2
+        second = run_sweep(tiny_spec(), store=store, shards=2)
+        assert second.computed == 2 and second.reused == 2
+        assert second.complete
+
+
+class TestSchedulerValidation:
+    def test_sharded_requires_disk_store(self):
+        with pytest.raises(ValueError, match="RunStore"):
+            SweepScheduler(tiny_spec(), store=MemoryRunStore(), shards=2)
+
+    def test_sharded_requires_some_store(self):
+        with pytest.raises(ValueError, match="RunStore"):
+            SweepScheduler(tiny_spec(), shards=2)
+
+    def test_bad_shards(self):
+        with pytest.raises(ValueError):
+            SweepScheduler(tiny_spec(), shards=0)
+
+    def test_bad_max_cells(self):
+        with pytest.raises(ValueError):
+            SweepScheduler(tiny_spec(), max_cells=-1)
+
+
+class TestContextMerging:
+    def test_structural_context_addresses_different_cells(self, tmp_path):
+        """A straggler-profile sweep must not collide with the ideal one."""
+        store = RunStore(tmp_path / "store")
+        ideal = run_sweep(tiny_spec(methods=("fedavg",), seeds=(0,)), store=store)
+        straggler = run_sweep(
+            tiny_spec(methods=("fedavg",), seeds=(0,)),
+            store=store,
+            context=ExecutionContext(system="straggler"),
+        )
+        assert ideal.computed == 1 and straggler.computed == 1  # no cross-hit
+        assert straggler.reused == 0
+
+    def test_execution_only_context_shares_cells(self, tmp_path):
+        """backend/workers do not change results, so they hit the same
+        store cells a plain serial sweep wrote."""
+        store = RunStore(tmp_path / "store")
+        run_sweep(tiny_spec(methods=("fedavg",), seeds=(0,)), store=store)
+        pooled = run_sweep(
+            tiny_spec(methods=("fedavg",), seeds=(0,)),
+            store=store,
+            context=ExecutionContext(backend="serial", workers=2),
+        )
+        assert pooled.computed == 0
+        assert pooled.reused == 1
+
+
+class TestSweepResult:
+    def test_lookup_by_cell(self, tmp_path):
+        spec = tiny_spec(methods=("fedavg",), seeds=(0,))
+        results = run_sweep(spec, store=RunStore(tmp_path / "store"))
+        assert results[spec.cells[0]].task_name == "mnist"
+        assert results.get(spec.cells[0]) is not None
+
+    def test_missing_cell_raises_keyerror(self, tmp_path):
+        spec = tiny_spec(methods=("fedavg", "fedbiad"), seeds=(0,))
+        partial = run_sweep(spec, store=RunStore(tmp_path / "store"), max_cells=1)
+        with pytest.raises(KeyError):
+            partial[spec.cells[1]]
+
+    def test_rows_raise_on_incomplete_sweep(self, tmp_path):
+        partial = run_sweep(tiny_spec(), store=RunStore(tmp_path / "store"), max_cells=1)
+        with pytest.raises(LookupError):
+            table1_rows(partial)
