@@ -1,0 +1,80 @@
+"""Benchmark: million-client subsampled fleet — peak RSS and latency.
+
+Runs the K=1,000,000 fleet task under the ``fleet`` device profile and
+reports task-construction time, per-round wall-clock latency, and the
+process's peak RSS.  The whole point of the lazy data/trait/selection
+layers is that these numbers follow the *cohort* (kappa * K clients),
+not the fleet: the RSS assertion here is the hard acceptance bound, and
+the cohort sweep shows per-round latency scaling with c while K stays
+one million.
+"""
+
+from __future__ import annotations
+
+import resource
+import time
+
+from repro.baselines.registry import make_method
+from repro.data.registry import make_task
+from repro.fl.config import FLConfig
+from repro.fl.simulation import FederatedSimulation
+
+from conftest import emit
+
+FLEET_CLIENTS = 1_000_000
+ROUNDS = 3
+COHORTS = (10, 50, 200)
+#: Hard bound on peak RSS for the full benchmark (python + numpy floor
+#: is ~40MB; an O(K) regression costs hundreds of MB at K=1M).
+MAX_RSS_MB = 1024
+
+
+def _peak_rss_mb() -> float:
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def test_fleet_scale(benchmark):
+    build_start = time.perf_counter()
+    task = make_task("fleet", "paper", seed=1)
+    build_ms = (time.perf_counter() - build_start) * 1e3
+    assert task.n_clients == FLEET_CLIENTS
+
+    lines = [
+        f"fleet-scale simulation (K={FLEET_CLIENTS:,}, fedavg, "
+        f"{ROUNDS} rounds, fleet profile)",
+        "",
+        f"task construction: {build_ms:.1f}ms",
+        "",
+        f"{'cohort':>8} {'per round':>10} {'peak RSS':>9}",
+    ]
+
+    def run_cohort(cohort: int) -> float:
+        config = FLConfig(
+            rounds=ROUNDS, kappa=cohort / FLEET_CLIENTS, local_iterations=5,
+            batch_size=16, lr=0.3, dropout_rate=0.2, eval_every=ROUNDS,
+            system="fleet", seed=0,
+        )
+        sim = FederatedSimulation(task, make_method("fedavg"), config)
+        try:
+            start = time.perf_counter()
+            for round_index in range(1, ROUNDS + 1):
+                record = sim.run_round(round_index)
+                assert record.n_selected == cohort
+            return (time.perf_counter() - start) / ROUNDS
+        finally:
+            sim.close()
+
+    benchmark.pedantic(lambda: run_cohort(COHORTS[0]), rounds=1, iterations=1)
+    for cohort in COHORTS:
+        per_round = run_cohort(cohort)
+        lines.append(
+            f"{cohort:>8} {per_round * 1e3:>8.0f}ms {_peak_rss_mb():>7.0f}MB"
+        )
+
+    rss = _peak_rss_mb()
+    lines.append("")
+    lines.append(f"peak RSS bound: {rss:.0f}MB <= {MAX_RSS_MB}MB")
+    emit("fleet_bench", "\n".join(lines))
+    # O(cohort) acceptance: a million-client run must stay far below
+    # anything that materializes K-sized state
+    assert rss <= MAX_RSS_MB, f"peak RSS {rss:.0f}MB exceeds {MAX_RSS_MB}MB"

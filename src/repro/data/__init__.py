@@ -8,12 +8,28 @@ from .batching import (
 )
 from .images import ImageDataset, class_prototypes, make_image_dataset
 from .partition import (
+    contiguous_client_chunk,
+    contiguous_client_span,
+    fleet_shard_rng,
     partition_dirichlet,
     partition_iid,
     partition_label_shards,
     partition_stream_contiguous,
 )
-from .registry import TASK_NAMES, FederatedTask, make_task, task_summary
+from .registry import (
+    ALL_TASK_NAMES,
+    FLEET_TASK_NAME,
+    TASK_NAMES,
+    ClientDataSource,
+    EagerClientData,
+    FederatedTask,
+    FleetImageSource,
+    IndexedArraySource,
+    StreamShardSource,
+    make_fleet_task,
+    make_task,
+    task_summary,
+)
 from .text import (
     MarkovLM,
     TextCorpus,
@@ -32,13 +48,24 @@ __all__ = [
     "ImageDataset",
     "class_prototypes",
     "make_image_dataset",
+    "contiguous_client_chunk",
+    "contiguous_client_span",
+    "fleet_shard_rng",
     "partition_dirichlet",
     "partition_iid",
     "partition_label_shards",
     "partition_stream_contiguous",
     "TASK_NAMES",
+    "FLEET_TASK_NAME",
+    "ALL_TASK_NAMES",
+    "ClientDataSource",
+    "EagerClientData",
+    "IndexedArraySource",
+    "StreamShardSource",
+    "FleetImageSource",
     "FederatedTask",
     "make_task",
+    "make_fleet_task",
     "task_summary",
     "MarkovLM",
     "TextCorpus",

@@ -22,6 +22,9 @@ __all__ = [
     "partition_label_shards",
     "partition_dirichlet",
     "partition_stream_contiguous",
+    "contiguous_client_span",
+    "contiguous_client_chunk",
+    "fleet_shard_rng",
 ]
 
 
@@ -90,6 +93,14 @@ def partition_dirichlet(
     """
     labels = np.asarray(labels)
     _validate(labels.shape[0], n_clients)
+    if min_per_client < 0:
+        raise ValueError("min_per_client must be >= 0")
+    if labels.shape[0] < n_clients * min_per_client:
+        raise ValueError(
+            f"cannot guarantee min_per_client={min_per_client}: "
+            f"{labels.shape[0]} samples across {n_clients} clients "
+            f"leaves fewer than {n_clients * min_per_client} to deal"
+        )
     rng = rng if rng is not None else np.random.default_rng(0)
     buckets: list[list[int]] = [[] for _ in range(n_clients)]
     for cls in np.unique(labels):
@@ -99,14 +110,25 @@ def partition_dirichlet(
         cuts = (np.cumsum(proportions)[:-1] * idx.size).astype(int)
         for client, chunk in enumerate(np.split(idx, cuts)):
             buckets[client].extend(chunk.tolist())
-    # rebalance empty/starved clients
-    sizes = [len(b) for b in buckets]
+    # rebalance empty/starved clients.  The starved client is excluded
+    # from the donor argmax (taking from itself would loop forever), and
+    # a donor must sit strictly above min_per_client or the steal would
+    # just starve it in turn.  Feasibility is guaranteed by the total
+    # check above: while any bucket is short, some *other* bucket holds
+    # more than min_per_client — the guard below is defensive only.
     for c in range(n_clients):
         while len(buckets[c]) < min_per_client:
-            donor = int(np.argmax([len(b) for b in buckets]))
+            donor_sizes = [
+                len(b) if i != c else -1 for i, b in enumerate(buckets)
+            ]
+            donor = int(np.argmax(donor_sizes))
+            if donor_sizes[donor] <= min_per_client:
+                raise ValueError(
+                    f"dirichlet rebalance infeasible: no donor above "
+                    f"min_per_client={min_per_client} while client {c} "
+                    f"holds {len(buckets[c])} samples"
+                )
             buckets[c].append(buckets[donor].pop())
-        sizes = [len(b) for b in buckets]
-    del sizes
     return [np.sort(np.array(b, dtype=np.int64)) for b in buckets]
 
 
@@ -122,7 +144,57 @@ def partition_stream_contiguous(
     paper's "randomly sample data without overlap" for PTB/WikiText-2.
     """
     _validate(stream_len, n_clients)
-    bounds = np.linspace(0, stream_len, n_clients + 1).astype(int)
-    chunks = [np.arange(bounds[i], bounds[i + 1]) for i in range(n_clients)]
     order = rng.permutation(n_clients)
-    return [chunks[i] for i in order]
+    return [contiguous_client_chunk(stream_len, n_clients, int(i)) for i in order]
+
+
+# ----------------------------------------------------------------------
+# fleet-scale O(1)-per-client shard assignment
+# ----------------------------------------------------------------------
+# A million-client simulation must never materialize all K shard index
+# arrays: per-round cost has to follow the selected cohort.  The
+# functions below answer "what is client c's shard?" in O(1) (plus the
+# size of that one shard), as pure functions of the partition geometry
+# and seed — the lazy data sources in :mod:`repro.data.registry` are
+# built on them.  Label-shard and Dirichlet splits stay list-returning:
+# their cost is bounded by the *dataset* size, not the fleet size.
+
+
+def contiguous_client_span(
+    stream_len: int, n_clients: int, client_id: int
+) -> tuple[int, int]:
+    """``[start, stop)`` of one client's contiguous chunk, in O(1).
+
+    Evaluates the same cut points as
+    ``np.linspace(0, stream_len, n_clients + 1).astype(int)`` —
+    the historical bounds of :func:`partition_stream_contiguous` —
+    pointwise: ``linspace`` computes ``i * (stream_len / n_clients)``
+    in float64 and truncates, which is reproduced here exactly, so the
+    lazy per-client view is bit-identical to the eager split.
+    """
+    _validate(stream_len, n_clients)
+    if not 0 <= client_id < n_clients:
+        raise ValueError(f"client_id {client_id} out of range [0, {n_clients})")
+    step = stream_len / n_clients
+    start = int(client_id * step)
+    stop = stream_len if client_id == n_clients - 1 else int((client_id + 1) * step)
+    return start, stop
+
+
+def contiguous_client_chunk(
+    stream_len: int, n_clients: int, client_id: int
+) -> np.ndarray:
+    """One client's contiguous index chunk (see :func:`contiguous_client_span`)."""
+    start, stop = contiguous_client_span(stream_len, n_clients, client_id)
+    return np.arange(start, stop)
+
+
+def fleet_shard_rng(seed: int, client_id: int) -> np.random.Generator:
+    """The RNG stream owning one fleet client's shard.
+
+    Keyed by ``(seed, tag, client_id)`` — never by draw order — so any
+    client's payload can be generated on demand, in any process, without
+    touching the other K-1 clients.  The 3-element key with a fixed tag
+    cannot collide with the registry's dataset-level streams.
+    """
+    return np.random.default_rng([int(seed), 0xF7EE7, int(client_id)])

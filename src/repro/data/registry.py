@@ -19,6 +19,18 @@ tests and benchmarks) and ``"paper"`` (the paper's client counts and
 model widths; hours of CPU time).  The paper's metric conventions are
 kept: top-1 accuracy for image classification, top-3 for next-word
 prediction (mobile keyboards show three candidates).
+
+Fleet-scale simulation
+----------------------
+Beyond the five paper tasks there is a ``"fleet"`` task whose client
+payloads are *generated on demand* from ``(seed, client_id)`` — memory
+and per-round cost follow the selected cohort, never the fleet, so a
+million-client simulation fits in a laptop's RAM.  Lazy access is
+formalized by the :class:`ClientDataSource` protocol; plain per-client
+lists (every existing task and test fixture) keep working unchanged
+through the :class:`EagerClientData` adapter, and ``make_task(...,
+lazy=True)`` builds the five paper tasks on lazy sources that are
+bit-identical to the eager lists (pinned by property tests).
 """
 
 from __future__ import annotations
@@ -34,28 +46,204 @@ from .batching import (
     eval_image_batches,
     eval_sequence_batches,
 )
-from .images import make_image_dataset
-from .partition import partition_label_shards, partition_stream_contiguous
+from .images import _sample_split, class_prototypes, make_image_dataset
+from .partition import (
+    fleet_shard_rng,
+    partition_label_shards,
+    partition_stream_contiguous,
+)
 from .text import make_text_corpus, make_user_corpora
 
-__all__ = ["FederatedTask", "make_task", "TASK_NAMES", "task_summary"]
+__all__ = [
+    "ClientDataSource",
+    "EagerClientData",
+    "IndexedArraySource",
+    "StreamShardSource",
+    "FleetImageSource",
+    "FederatedTask",
+    "make_task",
+    "make_fleet_task",
+    "TASK_NAMES",
+    "FLEET_TASK_NAME",
+    "ALL_TASK_NAMES",
+    "task_summary",
+]
 
 TASK_NAMES = ("mnist", "fmnist", "ptb", "wikitext2", "reddit")
+
+#: The synthetic cross-device fleet task (not part of the paper's
+#: evaluation line-up, so artifact sweeps over :data:`TASK_NAMES` never
+#: pick it up by accident).
+FLEET_TASK_NAME = "fleet"
+
+ALL_TASK_NAMES = TASK_NAMES + (FLEET_TASK_NAME,)
+
+
+# ----------------------------------------------------------------------
+# client data sources
+# ----------------------------------------------------------------------
+
+
+class ClientDataSource:
+    """Lazy per-client payload access.
+
+    A source answers ``client_payload(c)`` (the ``(x, y)`` arrays of an
+    image client or the token stream of a text client) and
+    ``client_size(c)`` (``|D_k|``, the aggregation weight of Eq. 10) for
+    one client at a time — nothing forces all K payloads into memory at
+    once.
+    """
+
+    #: whether pool workers should receive this source's payloads
+    #: materialized per job.  True only when access *computes* the
+    #: payload (generated shards): shipping then replaces duplicate
+    #: per-worker generation with one O(shard) transfer.  Sources that
+    #: merely slice resident arrays leave it False — their workers
+    #: already hold the arrays (shipped once at pool init) and slice
+    #: locally for free.
+    ships_payloads = False
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def client_payload(self, client_id: int):
+        raise NotImplementedError
+
+    def client_size(self, client_id: int) -> int:
+        """|D_k|; default derives it from the materialized payload."""
+        payload = self.client_payload(client_id)
+        if isinstance(payload, tuple):
+            return int(payload[0].shape[0])
+        return int(payload.shape[0])
+
+    def min_client_size(self) -> int:
+        """min_k |D_k| (``m_r``'s floor in Thm. 1); override when it is
+        known in O(1) — the default walks every client."""
+        return min(self.client_size(c) for c in range(len(self)))
+
+    def __getitem__(self, client_id: int):
+        return self.client_payload(client_id)
+
+    def __iter__(self):
+        return (self.client_payload(c) for c in range(len(self)))
+
+
+class EagerClientData(ClientDataSource):
+    """Adapter presenting an in-memory payload list as a source."""
+
+    def __init__(self, payloads: list) -> None:
+        self._payloads = list(payloads)
+
+    def __len__(self) -> int:
+        return len(self._payloads)
+
+    def client_payload(self, client_id: int):
+        return self._payloads[client_id]
+
+
+class IndexedArraySource(ClientDataSource):
+    """Lazy image shards: one ``(x, y)`` view sliced per access.
+
+    Holds the full training arrays once plus the per-client index
+    arrays; ``client_payload(c)`` fancy-indexes on demand, producing
+    exactly the arrays the eager path materializes up front.
+    """
+
+    def __init__(self, x: np.ndarray, y: np.ndarray, parts: list[np.ndarray]) -> None:
+        self._x = x
+        self._y = y
+        self._parts = parts
+
+    def __len__(self) -> int:
+        return len(self._parts)
+
+    def client_payload(self, client_id: int):
+        idx = self._parts[client_id]
+        return self._x[idx], self._y[idx]
+
+    def client_size(self, client_id: int) -> int:
+        return int(self._parts[client_id].shape[0])
+
+
+class StreamShardSource(ClientDataSource):
+    """Lazy text shards: one stream slice per access."""
+
+    def __init__(self, stream: np.ndarray, parts: list[np.ndarray]) -> None:
+        self._stream = stream
+        self._parts = parts
+
+    def __len__(self) -> int:
+        return len(self._parts)
+
+    def client_payload(self, client_id: int):
+        return self._stream[self._parts[client_id]]
+
+    def client_size(self, client_id: int) -> int:
+        return int(self._parts[client_id].shape[0])
+
+
+class FleetImageSource(ClientDataSource):
+    """Million-client image shards generated on demand.
+
+    Client ``c``'s payload is drawn from the stream
+    :func:`~repro.data.partition.fleet_shard_rng` ``(seed, c)`` — a pure
+    function of the key, so any client can be materialized in any
+    process in O(shard), with O(1) state held here (the class
+    prototypes).  ``client_size`` is a constant, making
+    ``min_client_size`` O(1) — fleet methods must never walk all K
+    clients at setup.
+    """
+
+    ships_payloads = True
+
+    def __init__(
+        self,
+        protos: np.ndarray,
+        mix: float,
+        noise: float,
+        samples_per_client: int,
+        n_clients: int,
+        seed: int,
+    ) -> None:
+        if samples_per_client < 1 or n_clients < 1:
+            raise ValueError("samples_per_client and n_clients must be >= 1")
+        self._protos = protos
+        self._mix = mix
+        self._noise = noise
+        self._samples = int(samples_per_client)
+        self._n_clients = int(n_clients)
+        self._seed = int(seed)
+
+    def __len__(self) -> int:
+        return self._n_clients
+
+    def client_payload(self, client_id: int):
+        rng = fleet_shard_rng(self._seed, client_id)
+        return _sample_split(self._samples, self._protos, self._mix, self._noise, rng)
+
+    def client_size(self, client_id: int) -> int:
+        return self._samples
+
+    def min_client_size(self) -> int:
+        return self._samples
 
 
 @dataclass
 class FederatedTask:
     """A federated dataset plus its model spec and metric.
 
-    ``client_data`` holds per-client payloads: ``(x, y)`` tuples for
-    image tasks, token streams for text tasks.
+    ``client_data`` holds per-client payloads — ``(x, y)`` tuples for
+    image tasks, token streams for text tasks — either as a plain list
+    (the historical shape, still accepted everywhere) or as any
+    :class:`ClientDataSource`, which lets payloads be computed on demand
+    so fleet-scale tasks never hold all K shards at once.
     """
 
     name: str
     kind: str  # "image" | "text"
     model_spec: dict
     metric: str  # "top1" | "top3"
-    client_data: list
+    client_data: object  # list of payloads | ClientDataSource
     test_data: object
     seq_len: int = 0
     default_dropout_rate: float = 0.5
@@ -69,18 +257,46 @@ class FederatedTask:
     def topk(self) -> int:
         return 1 if self.metric == "top1" else 3
 
+    @property
+    def ships_cohort_payloads(self) -> bool:
+        """Whether pool workers should receive materialized cohort
+        payloads per job instead of regenerating them (sources whose
+        payloads are *computed* on access, e.g. generated fleet shards;
+        slicing sources resolve locally in the worker instead)."""
+        return (
+            isinstance(self.client_data, ClientDataSource)
+            and self.client_data.ships_payloads
+        )
+
+    def client_payload(self, client_id: int):
+        """One client's payload (materialized on demand for lazy sources)."""
+        return self.client_data[client_id]
+
     def client_size(self, client_id: int) -> int:
         """|D_k| — the aggregation weight of Eq. (10)."""
+        if isinstance(self.client_data, ClientDataSource):
+            return int(self.client_data.client_size(client_id))
         if self.kind == "image":
             return int(self.client_data[client_id][0].shape[0])
         return int(self.client_data[client_id].shape[0])
 
+    def min_client_size(self) -> int:
+        """min_k |D_k|; O(1) for sources that know it without a fleet walk."""
+        if isinstance(self.client_data, ClientDataSource):
+            return int(self.client_data.min_client_size())
+        return min(self.client_size(c) for c in range(self.n_clients))
+
+    def batcher_from_payload(self, payload, batch_size: int, rng: np.random.Generator):
+        """Build a minibatch sampler over an already-materialized payload
+        (pool workers receive cohort payloads pre-sliced by the parent)."""
+        if self.kind == "image":
+            x, y = payload
+            return ImageBatcher(x, y, batch_size, rng)
+        return SequenceBatcher(payload, batch_size, self.seq_len, rng)
+
     def batcher(self, client_id: int, batch_size: int, rng: np.random.Generator):
         """Build the local minibatch sampler for one client."""
-        if self.kind == "image":
-            x, y = self.client_data[client_id]
-            return ImageBatcher(x, y, batch_size, rng)
-        return SequenceBatcher(self.client_data[client_id], batch_size, self.seq_len, rng)
+        return self.batcher_from_payload(self.client_payload(client_id), batch_size, rng)
 
     def eval_batches(self, batch_size: int = 256) -> Iterator:
         """Deterministic iterator over the global test set."""
@@ -142,8 +358,22 @@ _PAPER = {
 
 _SCALES = {"small": _SMALL, "paper": _PAPER}
 
+#: Fleet-scale presets: ``small`` keeps tests fast, ``paper`` is the
+#: million-client regime the ROADMAP targets.  Every per-client quantity
+#: is O(1) to derive, so building the task never touches the fleet.
+_FLEET = {
+    "small": dict(
+        side=8, n_clients=5_000, samples_per_client=32, n_test=512,
+        hidden=(32,), difficulty="easy", p=0.2,
+    ),
+    "paper": dict(
+        side=8, n_clients=1_000_000, samples_per_client=32, n_test=512,
+        hidden=(32,), difficulty="easy", p=0.2,
+    ),
+}
 
-def _make_image_task(name: str, cfg: dict, seed: int) -> FederatedTask:
+
+def _make_image_task(name: str, cfg: dict, seed: int, lazy: bool = False) -> FederatedTask:
     ds = make_image_dataset(
         name,
         n_train=cfg["n_train"],
@@ -156,7 +386,10 @@ def _make_image_task(name: str, cfg: dict, seed: int) -> FederatedTask:
     parts = partition_label_shards(
         ds.y_train, cfg["n_clients"], shards_per_client=cfg["shards"], rng=rng
     )
-    client_data = [(ds.x_train[idx], ds.y_train[idx]) for idx in parts]
+    if lazy:
+        client_data = IndexedArraySource(ds.x_train, ds.y_train, parts)
+    else:
+        client_data = [(ds.x_train[idx], ds.y_train[idx]) for idx in parts]
     model_spec = {
         "kind": "mlp",
         "input_dim": ds.input_dim,
@@ -174,7 +407,7 @@ def _make_image_task(name: str, cfg: dict, seed: int) -> FederatedTask:
     )
 
 
-def _make_text_task(name: str, cfg: dict, seed: int) -> FederatedTask:
+def _make_text_task(name: str, cfg: dict, seed: int, lazy: bool = False) -> FederatedTask:
     if name == "reddit":
         corpus = make_user_corpora(
             name,
@@ -184,7 +417,11 @@ def _make_text_task(name: str, cfg: dict, seed: int) -> FederatedTask:
             test_tokens=cfg["test_tokens"],
             seed=seed,
         )
-        client_data = list(corpus.user_streams)
+        # per-user streams are the natural partition and already
+        # materialized by the corpus; the lazy variant is the adapter
+        client_data = (
+            EagerClientData(corpus.user_streams) if lazy else list(corpus.user_streams)
+        )
     else:
         corpus = make_text_corpus(
             name,
@@ -197,7 +434,10 @@ def _make_text_task(name: str, cfg: dict, seed: int) -> FederatedTask:
         parts = partition_stream_contiguous(
             corpus.train_stream.shape[0], cfg["n_clients"], rng
         )
-        client_data = [corpus.train_stream[idx] for idx in parts]
+        if lazy:
+            client_data = StreamShardSource(corpus.train_stream, parts)
+        else:
+            client_data = [corpus.train_stream[idx] for idx in parts]
     model_spec = {
         "kind": "lstm",
         "vocab_size": corpus.vocab_size,
@@ -217,32 +457,119 @@ def _make_text_task(name: str, cfg: dict, seed: int) -> FederatedTask:
     )
 
 
-def make_task(name: str, scale: str = "small", seed: int = 0) -> FederatedTask:
-    """Build one of the five federated evaluation tasks.
+def _make_fleet_task(cfg: dict, seed: int) -> FederatedTask:
+    """The million-client-capable synthetic image task.
+
+    Construction cost is O(prototypes + test set) — independent of
+    ``n_clients``.  Client shards come from :class:`FleetImageSource`,
+    generated per selected client per round.
+    """
+    mix, noise = (0.15, 1.8) if cfg["difficulty"] == "easy" else (0.55, 1.8)
+    proto_rng = np.random.default_rng(seed)
+    protos = class_prototypes(10, cfg["side"], proto_rng)
+    source = FleetImageSource(
+        protos,
+        mix=mix,
+        noise=noise,
+        samples_per_client=cfg["samples_per_client"],
+        n_clients=cfg["n_clients"],
+        seed=seed,
+    )
+    test_rng = np.random.default_rng([seed, 0x7E57])
+    x_test, y_test = _sample_split(cfg["n_test"], protos, mix, noise, test_rng)
+    model_spec = {
+        "kind": "mlp",
+        "input_dim": cfg["side"] * cfg["side"],
+        "hidden_dims": cfg["hidden"],
+        "n_classes": 10,
+    }
+    return FederatedTask(
+        name=FLEET_TASK_NAME,
+        kind="image",
+        model_spec=model_spec,
+        metric="top1",
+        client_data=source,
+        test_data=(x_test, y_test),
+        default_dropout_rate=cfg["p"],
+    )
+
+
+def make_fleet_task(
+    n_clients: int,
+    samples_per_client: int = 32,
+    side: int = 8,
+    difficulty: str = "easy",
+    n_test: int = 512,
+    hidden: tuple = (32,),
+    dropout_rate: float = 0.2,
+    seed: int = 0,
+) -> FederatedTask:
+    """A fleet task at an *arbitrary* fleet size.
+
+    ``make_task("fleet", scale)`` covers the two presets (small K=5000,
+    paper K=1,000,000); this builder is for everything in between and
+    beyond — construction cost stays independent of ``n_clients``.
+    """
+    cfg = dict(
+        side=side, n_clients=n_clients, samples_per_client=samples_per_client,
+        n_test=n_test, hidden=hidden, difficulty=difficulty, p=dropout_rate,
+    )
+    return _make_fleet_task(cfg, seed)
+
+
+def make_task(
+    name: str, scale: str = "small", seed: int = 0, lazy: bool = False
+) -> FederatedTask:
+    """Build one of the five federated evaluation tasks, or the fleet task.
 
     Parameters
     ----------
     name:
-        One of :data:`TASK_NAMES`.
+        One of :data:`ALL_TASK_NAMES`.
     scale:
         ``"small"`` (default) or ``"paper"``.
     seed:
         Controls data generation and partitioning.
+    lazy:
+        Build ``client_data`` on a :class:`ClientDataSource` that
+        materializes payloads per access instead of an eager list.
+        Payloads and sizes are bit-identical either way; the fleet task
+        is always lazy.
     """
-    if name not in TASK_NAMES:
-        raise ValueError(f"unknown task {name!r}; choose from {TASK_NAMES}")
+    if name not in ALL_TASK_NAMES:
+        raise ValueError(f"unknown task {name!r}; choose from {ALL_TASK_NAMES}")
     if scale not in _SCALES:
         raise ValueError(f"unknown scale {scale!r}; choose from {tuple(_SCALES)}")
+    if name == FLEET_TASK_NAME:
+        return _make_fleet_task(_FLEET[scale], seed)
     cfg = _SCALES[scale][name]
     if name in ("mnist", "fmnist"):
-        return _make_image_task(name, cfg, seed)
-    return _make_text_task(name, cfg, seed)
+        return _make_image_task(name, cfg, seed, lazy=lazy)
+    return _make_text_task(name, cfg, seed, lazy=lazy)
+
+
+#: Above this fleet size, :func:`task_summary` reports sizes over a
+#: deterministic sample of clients instead of walking all of them.
+_SUMMARY_SAMPLE_THRESHOLD = 10_000
 
 
 def task_summary(task: FederatedTask) -> str:
-    """One-line description used by the benchmark reports."""
-    sizes = [task.client_size(c) for c in range(task.n_clients)]
+    """One-line description used by the benchmark reports.
+
+    For fleets beyond :data:`_SUMMARY_SAMPLE_THRESHOLD` clients the
+    min/max sample sizes are estimated from a deterministic 1000-client
+    sample (marked ``~``) — a summary line must not cost O(fleet).
+    """
+    n = task.n_clients
+    if n > _SUMMARY_SAMPLE_THRESHOLD:
+        ids = np.linspace(0, n - 1, 1000).astype(int)
+        sizes = [task.client_size(int(c)) for c in ids]
+        approx = "~"
+    else:
+        sizes = [task.client_size(c) for c in range(n)]
+        approx = ""
     return (
-        f"{task.name}: kind={task.kind} clients={task.n_clients} "
-        f"samples/client min={min(sizes)} max={max(sizes)} metric={task.metric}"
+        f"{task.name}: kind={task.kind} clients={n} "
+        f"samples/client min={approx}{min(sizes)} max={approx}{max(sizes)} "
+        f"metric={task.metric}"
     )

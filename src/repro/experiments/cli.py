@@ -8,6 +8,11 @@ Usage::
     python -m repro.experiments.cli run mnist fedbiad --backend process --workers 4
     python -m repro.experiments.cli run mnist fedbiad --mode async --buffer-size 2
 
+    # subsampled fleet simulation (K=5000 small / K=1,000,000 paper;
+    # per-round cost and memory follow the selected cohort, not K)
+    python -m repro.experiments.cli run fleet fedavg --rounds 3
+    python -m repro.experiments.cli run fleet fedavg --rounds 3 --scale paper
+
     # sharded, resumable sweeps against an on-disk store
     python -m repro.experiments.cli sweep table1 --shards 4 --store runs/
     python -m repro.experiments.cli sweep table1 --shards 4 --store runs/   # resume
@@ -42,7 +47,7 @@ import sys
 
 from ..baselines.registry import METHOD_NAMES
 from ..compression.registry import COMPRESSOR_NAMES
-from ..data.registry import TASK_NAMES
+from ..data.registry import ALL_TASK_NAMES, TASK_NAMES
 from ..fl.engine import BACKEND_NAMES
 from ..fl.systems import SYSTEM_NAMES
 from .ablations import ablation_rows, ablations_spec, format_ablations
@@ -176,8 +181,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", default=None, choices=("small", "paper"))
     _add_execution_flags(p)
 
+    # `run` also accepts the fleet task (million-client scenario);
+    # artifact sweeps stay pinned to the paper's five datasets
     p = sub.add_parser("run", help="run one (task, method) simulation")
-    p.add_argument("task", choices=TASK_NAMES)
+    p.add_argument("task", choices=ALL_TASK_NAMES)
     p.add_argument("method", help="e.g. fedavg, fedbiad, fedbiad+dgc")
     p.add_argument("--rounds", type=int, default=None)
     p.add_argument("--dropout-rate", type=float, default=None)

@@ -75,8 +75,10 @@ def active_scale() -> str:
 # accuracies, so the targets are re-anchored to the same *relative*
 # position (roughly 85-90% of the FedAvg plateau).
 TTA_TARGETS = {
-    "small": {"mnist": 0.85, "fmnist": 0.55, "ptb": 0.32, "wikitext2": 0.32, "reddit": 0.30},
-    "paper": {"mnist": 0.90, "fmnist": 0.80, "ptb": 0.28, "wikitext2": 0.31, "reddit": 0.30},
+    "small": {"mnist": 0.85, "fmnist": 0.55, "ptb": 0.32, "wikitext2": 0.32,
+              "reddit": 0.30, "fleet": 0.80},
+    "paper": {"mnist": 0.90, "fmnist": 0.80, "ptb": 0.28, "wikitext2": 0.31,
+              "reddit": 0.30, "fleet": 0.80},
 }
 
 _TEXT_SMALL = FLConfig(
@@ -121,6 +123,21 @@ _SMALL_FL = {
     "ptb": _TEXT_SMALL,
     "wikitext2": _TEXT_SMALL,
     "reddit": _TEXT_SMALL,
+    # fleet scenario: cohort of 20 from a 5000-client fleet under the
+    # O(cohort) "fleet" device profile — per-round cost must track the
+    # cohort, so kappa is tiny by construction
+    "fleet": FLConfig(
+        rounds=10,
+        kappa=0.004,
+        local_iterations=5,
+        batch_size=16,
+        lr=0.3,
+        weight_decay=1e-4,
+        dropout_rate=0.2,
+        tau=3,
+        eval_every=5,
+        system="fleet",
+    ),
 }
 
 _PAPER_FL = {
@@ -146,6 +163,20 @@ _PAPER_FL = {
         rounds=60, kappa=0.1, local_iterations=30, batch_size=20, lr=2.0,
         max_grad_norm=0.5, weight_decay=1e-6, dropout_rate=0.5, tau=3,
         stage_boundary=55,
+    ),
+    # the million-client regime: kappa * K = 20-client cohorts out of
+    # K = 1,000,000 — memory and latency stay O(cohort)
+    "fleet": FLConfig(
+        rounds=10,
+        kappa=2e-5,
+        local_iterations=5,
+        batch_size=16,
+        lr=0.3,
+        weight_decay=1e-4,
+        dropout_rate=0.2,
+        tau=3,
+        eval_every=5,
+        system="fleet",
     ),
 }
 

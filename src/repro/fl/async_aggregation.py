@@ -63,6 +63,7 @@ import numpy as np
 from .client import ClientUpdate
 from .metrics import RoundRecord
 from .simulation import FederatedSimulation
+from .systems import FleetAvailability
 
 __all__ = ["AsyncFederatedSimulation", "ASYNC_VIRTUAL_LTTR_SECONDS"]
 
@@ -122,12 +123,22 @@ class AsyncFederatedSimulation(FederatedSimulation):
             return
         sys_rng = self._system_rng(wave)
         available = self.system.available_clients(wave, sys_rng)
-        candidates = np.array(
-            [c for c in available if int(c) not in self._in_flight], dtype=np.int64
-        )
-        if candidates.size == 0:
+        if isinstance(available, FleetAvailability):
+            # fleet path: exclusion happens inside the index sampler —
+            # filtering an availability *array* would be O(K)
+            selected = self._select_clients(
+                wave, available, cap=free, exclude=self._in_flight
+            )
+        else:
+            candidates = np.array(
+                [c for c in available if int(c) not in self._in_flight],
+                dtype=np.int64,
+            )
+            if candidates.size == 0:
+                return
+            selected = self._select_clients(wave, candidates, cap=free)
+        if selected.size == 0:
             return
-        selected = self._select_clients(wave, candidates, cap=free)
 
         launch_time = self.clock.now
         results = self._execute_cohort(wave, selected)
@@ -209,13 +220,17 @@ class AsyncFederatedSimulation(FederatedSimulation):
         )
 
     # ------------------------------------------------------------------
-    def checkpoint_state(self) -> dict:
-        state = super().checkpoint_state()
+    def _checkpoint_payload(self) -> dict:
+        # extending the payload (not the copied snapshot) keeps the
+        # base class's single deepcopy covering the in-flight table, so
+        # clock events and in-flight entries stay the *same* objects
+        # inside one snapshot
+        state = super()._checkpoint_payload()
         state["in_flight"] = dict(self._in_flight)
         state["flush_weights"] = list(self.flush_weights)
         return state
 
-    def restore_state(self, state: dict) -> None:
-        super().restore_state(state)
+    def _adopt_state(self, state: dict) -> None:
+        super()._adopt_state(state)
         self._in_flight = dict(state["in_flight"])
         self.flush_weights = list(state["flush_weights"])

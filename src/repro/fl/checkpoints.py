@@ -11,9 +11,11 @@ trajectory of an uninterrupted one — RNG streams are keyed by
 
 from __future__ import annotations
 
+import inspect
 import json
+import math
 import pickle
-from dataclasses import asdict
+from dataclasses import asdict, fields
 from pathlib import Path
 
 import numpy as np
@@ -58,32 +60,62 @@ def history_to_payload(history: History) -> dict:
     }
 
 
+#: Every float-typed :class:`RoundRecord` field.  JSON has no NaN, so
+#: :func:`dumps_nan_safe` writes them as null and the loader must turn
+#: *any* of them — not just the loss/accuracy columns — back into NaN,
+#: or numeric ops downstream choke on ``None``.
+_FLOAT_RECORD_FIELDS = tuple(
+    f.name
+    for f in fields(RoundRecord)
+    # annotations are strings under `from __future__ import annotations`;
+    # the substring match also catches future "float | None" /
+    # "np.float64"-style fields so they cannot silently escape restoration
+    if f.type is float or (isinstance(f.type, str) and "float" in f.type)
+)
+
+
 def history_from_payload(payload: dict) -> History:
     """Rebuild a :class:`History` from :func:`history_to_payload` output
-    (restoring the NaNs that JSON encoded as null)."""
+    (restoring the NaNs that JSON encoded as null, for every float
+    field of :class:`RoundRecord`)."""
     history = History(method=payload["method"], task=payload["task"])
     for raw in payload["records"]:
         raw = dict(raw)
-        for key in ("train_loss", "test_loss", "test_accuracy"):
-            if raw[key] is None:
+        for key in _FLOAT_RECORD_FIELDS:
+            if raw.get(key, 0.0) is None:
                 raw[key] = float("nan")
         history.append(RoundRecord(**raw))
     return history
 
 
+def _jsonable(obj):
+    """Recursively convert ``obj`` into strictly-valid JSON values:
+    numpy scalars downcast, non-finite floats (NaN/Infinity) become
+    null *structurally* — string values are never touched."""
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, (float, np.floating)):
+        value = float(obj)
+        return value if math.isfinite(value) else None
+    if isinstance(obj, np.ndarray):
+        return [_jsonable(v) for v in obj.tolist()]
+    if isinstance(obj, dict):
+        return {key: _jsonable(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    return obj
+
+
 def dumps_nan_safe(payload) -> str:
     """JSON-encode ``payload``, downcasting numpy scalars and writing
-    NaN (which JSON lacks) as null."""
+    non-finite floats (which strict JSON lacks) as null.
 
-    def default(o):
-        if isinstance(o, (np.integer,)):
-            return int(o)
-        if isinstance(o, (np.floating,)):
-            return float(o)
-        raise TypeError(f"not JSON-serializable: {type(o)}")
-
-    # JSON has no NaN; encode as null and decode back
-    return json.dumps(payload, default=default).replace("NaN", "null")
+    The substitution walks the payload structure rather than the encoded
+    text, so string values containing "NaN" survive verbatim and
+    ``Infinity``/``-Infinity`` never reach the output (``allow_nan=False``
+    guarantees a strict-parser-safe document).
+    """
+    return json.dumps(_jsonable(payload), allow_nan=False)
 
 
 def save_history(history: History, path: str | Path) -> None:
@@ -104,8 +136,23 @@ def save_checkpoint(sim, path: str | Path) -> None:
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
+    # pickling is itself a point-in-time snapshot, so serialize the live
+    # payload directly — paying checkpoint_state()'s deepcopy here would
+    # copy every client state twice per save.  Subclasses that override
+    # the *public* checkpoint_state (the pre-_checkpoint_payload
+    # extension pattern) keep their override honored, at the cost of
+    # that method's own copy.
+    from .simulation import FederatedSimulation
+
+    if (
+        isinstance(sim, FederatedSimulation)
+        and type(sim).checkpoint_state is FederatedSimulation.checkpoint_state
+    ):
+        state = sim._checkpoint_payload()
+    else:
+        state = sim.checkpoint_state()
     with path.open("wb") as fh:
-        pickle.dump(sim.checkpoint_state(), fh, protocol=pickle.HIGHEST_PROTOCOL)
+        pickle.dump(state, fh, protocol=pickle.HIGHEST_PROTOCOL)
 
 
 def restore_checkpoint(sim, path: str | Path) -> None:
@@ -117,7 +164,13 @@ def restore_checkpoint(sim, path: str | Path) -> None:
     """
     with Path(path).open("rb") as fh:
         state = pickle.load(fh)
-    sim.restore_state(state)
+    # the unpickled graph is exclusively ours — skip the defensive copy
+    # where the signature allows it (overrides predating copy_state
+    # keep working)
+    if "copy_state" in inspect.signature(sim.restore_state).parameters:
+        sim.restore_state(state, copy_state=False)
+    else:
+        sim.restore_state(state)
 
 
 def load_history(path: str | Path) -> History:

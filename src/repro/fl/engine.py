@@ -63,16 +63,26 @@ def execute_client(
     round_index: int,
     client_id: int,
     state: dict,
+    payload=None,
 ) -> ClientResult:
     """Run one client's local round — shared by every backend.
 
     The RNG stream is derived from ``(seed, round, client)`` alone, so
     the result does not depend on which process or in what order the
     client runs.
+
+    ``payload`` optionally carries the client's already-materialized
+    data (pool workers receive the cohort's payloads from the parent
+    instead of re-deriving them); the batcher over a shipped payload is
+    identical to one built through ``task.batcher`` because lazy
+    sources are pure functions of ``(data seed, client)``.
     """
     client_id = int(client_id)
     rng = np.random.default_rng([config.seed, round_index, client_id])
-    batcher = task.batcher(client_id, config.batch_size, rng)
+    if payload is not None:
+        batcher = task.batcher_from_payload(payload, config.batch_size, rng)
+    else:
+        batcher = task.batcher(client_id, config.batch_size, rng)
     ctx = ClientContext(
         client_id=client_id,
         round_index=round_index,
@@ -190,7 +200,7 @@ def _worker_init(task, model_spec: dict, seed: int) -> None:  # pragma: no cover
 
 
 def _worker_run(
-    round_blob, round_key, config, round_index, client_id, state
+    round_blob, round_key, config, round_index, client_id, state, payload=None
 ):  # pragma: no cover - subprocess
     # The round's shared payload (task-stripped method + global params)
     # is serialized once per round in the parent and deserialized at
@@ -212,6 +222,7 @@ def _worker_run(
         round_index,
         client_id,
         state,
+        payload=payload,
     )
 
 
@@ -273,8 +284,19 @@ class ProcessPoolBackend(ExecutionBackend):
         round_blob = _dump_round_blob(method, task, global_params)
         self._round_serial += 1
         round_key = (id(self), self._round_serial)
+        # Lazy tasks (e.g. fleet-scale generated shards) ship only the
+        # *cohort's* payloads, materialized once in the parent, so each
+        # worker pays O(shard) transfer instead of regenerating or
+        # holding per-client materializations.  Eager tasks already
+        # live whole in every worker; their jobs ship no payload
+        # (bit-identical historical path).
+        ship = bool(getattr(task, "ships_cohort_payloads", False))
         jobs = [
-            (round_blob, round_key, config, round_index, int(cid), states[int(cid)])
+            (
+                round_blob, round_key, config, round_index, int(cid),
+                states[int(cid)],
+                task.client_payload(int(cid)) if ship else None,
+            )
             for cid in selected
         ]
         # starmap preserves job order, so results come back in selection

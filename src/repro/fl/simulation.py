@@ -50,6 +50,7 @@ LTTR with a virtual compute base — see
 
 from __future__ import annotations
 
+import copy
 import time
 from collections import defaultdict
 
@@ -61,7 +62,14 @@ from .config import FLConfig
 from .engine import ClientResult, ExecutionBackend, make_backend
 from .metrics import History, RoundRecord, evaluate
 from .parameters import ParamSet
-from .systems import ClientArrival, SystemModel, VirtualClock, make_system
+from .systems import (
+    ClientArrival,
+    FleetAvailability,
+    SystemModel,
+    VirtualClock,
+    make_system,
+    sample_index_cohort,
+)
 
 __all__ = ["FederatedSimulation", "run_simulation"]
 
@@ -139,7 +147,11 @@ class FederatedSimulation:
         return np.random.default_rng([self.config.seed, round_index, 0x5C1, 0])
 
     def _select_clients(
-        self, round_index: int, available: np.ndarray, cap: int | None = None
+        self,
+        round_index: int,
+        available,
+        cap: int | None = None,
+        exclude=None,
     ) -> np.ndarray:
         """Uniform sample of ``c`` clients from the available fleet.
 
@@ -152,8 +164,32 @@ class FederatedSimulation:
         this helper: the async buffer>=cohort reduction to the sync
         trajectory rests on both drawing identically from the same
         ``(seed, round)`` stream.
+
+        ``available`` is either an index array (historical path, drawn
+        with ``rng.choice`` exactly as before) or a
+        :class:`~repro.fl.systems.FleetAvailability` descriptor, in
+        which case cohort ids are sampled directly from the fleet's id
+        range in O(cohort) — no ``arange(K)`` is ever built.
+        ``exclude`` (fleet path only) removes ids from consideration;
+        the array path's callers filter their candidate arrays instead.
         """
         rng = np.random.default_rng([self.config.seed, round_index])
+        if isinstance(available, FleetAvailability):
+            pool = available.size - (len(exclude) if exclude else 0)
+            c = min(self.config.clients_per_round(self.task.n_clients), pool)
+            if cap is not None:
+                c = min(c, cap)
+            if c <= 0:
+                return np.empty(0, dtype=np.int64)
+            return sample_index_cohort(rng, available.n_clients, c, exclude=exclude)
+        if exclude:
+            # the array path draws from `available` as given; silently
+            # ignoring an exclusion set would let an in-flight client be
+            # selected twice — callers must pre-filter their candidates
+            raise ValueError(
+                "exclude is only supported with FleetAvailability; "
+                "filter the availability array instead"
+            )
         c = min(self.config.clients_per_round(self.task.n_clients), available.size)
         if cap is not None:
             c = min(c, cap)
@@ -229,13 +265,10 @@ class FederatedSimulation:
     # ------------------------------------------------------------------
     # checkpoint / resume
     # ------------------------------------------------------------------
-    def checkpoint_state(self) -> dict:
-        """Everything needed to resume this run mid-stream.
-
-        RNG streams are all derived from ``(seed, round[, client])``
-        keys, so no generator state needs saving — a resumed run
-        replays the exact trajectory of an uninterrupted one.
-        """
+    def _checkpoint_payload(self) -> dict:
+        """Live references to everything a snapshot must capture;
+        subclasses extend it (async adds its in-flight table, which
+        shares objects with the clock's pending events)."""
         return {
             "mode": self.mode,
             "next_round": self._next_round,
@@ -245,18 +278,47 @@ class FederatedSimulation:
             "history": self.history,
         }
 
-    def restore_state(self, state: dict) -> None:
-        """Adopt a :meth:`checkpoint_state` snapshot (mode must match)."""
-        if state.get("mode") != self.mode:
-            raise ValueError(
-                f"checkpoint was written by a {state.get('mode')!r} simulation, "
-                f"cannot restore into {self.mode!r}"
-            )
+    def checkpoint_state(self) -> dict:
+        """Everything needed to resume this run mid-stream.
+
+        RNG streams are all derived from ``(seed, round[, client])``
+        keys, so no generator state needs saving — a resumed run
+        replays the exact trajectory of an uninterrupted one.
+
+        The snapshot is a *deep copy*: an in-memory snapshot taken at
+        round N stays frozen at round N however far the live run
+        continues (live references would be silently mutated by
+        subsequent rounds and replay corrupted state on restore).  One
+        ``deepcopy`` over the whole payload preserves shared identity
+        between the clock's pending events and the async in-flight
+        table.
+        """
+        return copy.deepcopy(self._checkpoint_payload())
+
+    def _adopt_state(self, state: dict) -> None:
+        """Install an already-copied snapshot; subclasses extend."""
         self._next_round = state["next_round"]
         self.global_params = state["global_params"]
         self.client_states = defaultdict(dict, state["client_states"])
         self.clock = state["clock"]
         self.history = state["history"]
+
+    def restore_state(self, state: dict, *, copy_state: bool = True) -> None:
+        """Adopt a :meth:`checkpoint_state` snapshot (mode must match).
+
+        With ``copy_state`` (the default) the snapshot is deep-copied on
+        the way in, so the same in-memory snapshot can seed several
+        restores and is never mutated by the runs it seeds.  Callers
+        adopting a freshly-deserialized object graph nobody else holds
+        (:func:`~repro.fl.checkpoints.restore_checkpoint`) pass
+        ``copy_state=False`` to skip the redundant copy.
+        """
+        if state.get("mode") != self.mode:
+            raise ValueError(
+                f"checkpoint was written by a {state.get('mode')!r} simulation, "
+                f"cannot restore into {self.mode!r}"
+            )
+        self._adopt_state(copy.deepcopy(state) if copy_state else state)
 
     # ------------------------------------------------------------------
     # the sync barrier round
@@ -266,6 +328,12 @@ class FederatedSimulation:
         round_start = self.clock.now
         sys_rng = self._system_rng(round_index)
         available = self.system.available_clients(round_index, sys_rng)
+        if available.size == 0:
+            raise ValueError(
+                f"system model {self.system.name!r} returned no available "
+                f"clients in round {round_index}; a server cannot run an "
+                f"empty round (availability hooks must never return empty)"
+            )
         selected = self._select_clients(round_index, available)
         results = self._execute_cohort(round_index, selected)
 

@@ -45,9 +45,13 @@ from ..comm.network import TMOBILE_5G, NetworkModel
 __all__ = [
     "VirtualClock",
     "ClientArrival",
+    "FleetAvailability",
+    "sample_index_cohort",
     "SystemModel",
     "IdealSystem",
     "HeterogeneousSystem",
+    "FleetSystem",
+    "LAZY_AVAILABILITY_THRESHOLD",
     "DEVICE_PROFILES",
     "SYSTEM_NAMES",
     "make_system",
@@ -122,6 +126,82 @@ class VirtualClock:
 
 
 @dataclass(frozen=True)
+class FleetAvailability:
+    """Lazy stand-in for the available-client index array at fleet scale.
+
+    At a million clients the availability hook must not return (or even
+    internally draw) an O(K) array.  This descriptor carries only the
+    fleet size and how many clients are up; selection then samples
+    cohort *indices* directly (:func:`sample_index_cohort`), so the
+    per-round cost is O(cohort).  ``size`` mirrors ``ndarray.size`` so
+    the selection core treats both shapes uniformly.
+    """
+
+    n_clients: int
+    n_available: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.n_available <= self.n_clients:
+            raise ValueError("n_available must be in [0, n_clients]")
+
+    @property
+    def size(self) -> int:
+        return self.n_available
+
+
+def sample_index_cohort(
+    rng: np.random.Generator,
+    n_clients: int,
+    size: int,
+    exclude=None,
+) -> np.ndarray:
+    """Draw ``size`` distinct client ids from ``range(n_clients)``.
+
+    Never materializes the id range: rejection-samples batched
+    ``rng.integers`` draws, skipping duplicates and the ``exclude`` set
+    (async in-flight clients).  With cohorts far below the fleet size —
+    the fleet regime by definition — the expected cost is O(size).  The
+    result is a pure function of the generator state, so per-``(seed,
+    round)`` keyed streams make selection fully deterministic.
+    """
+    exclude = exclude if exclude is not None else ()
+    if size < 0:
+        raise ValueError("size must be >= 0")
+    if size > n_clients - len(exclude):
+        raise ValueError(
+            f"cannot draw {size} distinct ids from {n_clients} clients "
+            f"with {len(exclude)} excluded"
+        )
+    chosen: set[int] = set()
+    out: list[int] = []
+    while len(out) < size:
+        draws = rng.integers(0, n_clients, size=2 * (size - len(out)))
+        for cid in draws:
+            cid = int(cid)
+            if cid in chosen or cid in exclude:
+                continue
+            chosen.add(cid)
+            out.append(cid)
+            if len(out) == size:
+                break
+    return np.array(out, dtype=np.int64)
+
+
+def _spread_sigma(spread: float) -> float:
+    """Log-normal sigma realizing a heterogeneity ``spread`` (1.0 = off)."""
+    return np.log(spread) / 2.0
+
+
+def _scaled_network(base: NetworkModel, divisor: float) -> NetworkModel:
+    """``base`` with both link rates divided by a bandwidth trait."""
+    return NetworkModel(
+        downlink_mbps=base.downlink_mbps / divisor,
+        uplink_mbps=base.uplink_mbps / divisor,
+        latency_seconds=base.latency_seconds,
+    )
+
+
+@dataclass(frozen=True)
 class ClientArrival:
     """Simulated timing decomposition of one client's round."""
 
@@ -156,9 +236,20 @@ class SystemModel:
         self.config = config
 
     # -- hooks ----------------------------------------------------------
-    def available_clients(self, round_index: int, rng: np.random.Generator) -> np.ndarray:
-        """Client ids selectable this round (never empty)."""
-        return np.arange(self.task.n_clients)
+    def available_clients(self, round_index: int, rng: np.random.Generator):
+        """Client ids selectable this round (never empty).
+
+        Returns either an index array or a :class:`FleetAvailability`
+        descriptor.  Under full availability, fleets at or above
+        :data:`LAZY_AVAILABILITY_THRESHOLD` clients return the lazy
+        descriptor so no ``arange(K)`` is ever materialized; smaller
+        fleets keep the historical array (and hence the historical
+        ``rng.choice`` selection stream) bit-for-bit.
+        """
+        n = self.task.n_clients
+        if n >= LAZY_AVAILABILITY_THRESHOLD:
+            return FleetAvailability(n, n)
+        return np.arange(n)
 
     def compute_seconds(
         self, round_index: int, client_id: int, measured_lttr: float, rng: np.random.Generator
@@ -256,16 +347,9 @@ class HeterogeneousSystem(SystemModel):
         super().bind(task, config)
         rng = np.random.default_rng([config.seed, 0x51D5])
         n = task.n_clients
-        self._speed = np.exp(rng.normal(0.0, np.log(self.speed_spread) / 2.0, size=n))
-        bw = np.exp(rng.normal(0.0, np.log(self.bandwidth_spread) / 2.0, size=n))
-        self._networks = [
-            NetworkModel(
-                downlink_mbps=self.base_network.downlink_mbps / b,
-                uplink_mbps=self.base_network.uplink_mbps / b,
-                latency_seconds=self.base_network.latency_seconds,
-            )
-            for b in bw
-        ]
+        self._speed = np.exp(rng.normal(0.0, _spread_sigma(self.speed_spread), size=n))
+        bw = np.exp(rng.normal(0.0, _spread_sigma(self.bandwidth_spread), size=n))
+        self._networks = [_scaled_network(self.base_network, b) for b in bw]
 
     def available_clients(self, round_index: int, rng: np.random.Generator) -> np.ndarray:
         n = self.task.n_clients
@@ -292,6 +376,111 @@ class HeterogeneousSystem(SystemModel):
         return cutoff
 
 
+class FleetSystem(SystemModel):
+    """Fleet-scale heterogeneity: per-round cost O(cohort), not O(K).
+
+    :class:`HeterogeneousSystem` draws per-client trait *arrays* at bind
+    time — O(K) memory and an O(K) list of per-client
+    :class:`~repro.comm.network.NetworkModel`s — which caps it at the
+    paper's thousand-client fleets.  This model binds in O(1):
+
+    * traits are drawn on demand from ``default_rng([seed, 0xF1EE7,
+      client_id])`` — a pure function of the key, so any client's speed
+      and bandwidth can be computed in any process without touching the
+      rest of the fleet (a small per-round cache avoids redrawing the
+      cohort's traits);
+    * availability is a *binomial count* (how many of the K devices are
+      up this round) returned as a :class:`FleetAvailability` descriptor
+      instead of a ``rng.random(K)`` Bernoulli sweep; selection then
+      samples cohort indices directly.
+
+    The trait and availability streams differ from
+    :class:`HeterogeneousSystem`'s, so this sampler is registered as the
+    *new* ``"fleet"`` profile — existing profiles keep their historical
+    draws bit-for-bit.
+
+    Local compute defaults to the virtual base ``lttr_seconds=1.0``
+    scaled by the client's speed trait, making trajectories — sim-clock
+    columns included — reproducible across hosts and backends; pass
+    ``lttr_seconds=None`` to scale measured LTTR instead.
+    """
+
+    name = "fleet"
+
+    #: per-client trait keying tag (cannot collide with the 3-element
+    #: ``[seed, round, client]`` client streams: the tag exceeds any
+    #: realistic round index)
+    _TRAIT_TAG = 0xF1EE7
+
+    def __init__(
+        self,
+        availability: float = 1.0,
+        speed_spread: float = 4.0,
+        bandwidth_spread: float = 2.0,
+        base_network: NetworkModel = TMOBILE_5G,
+        lttr_seconds: float | None = 1.0,
+    ) -> None:
+        super().__init__()
+        if not 0.0 < availability <= 1.0:
+            raise ValueError("availability must be in (0, 1]")
+        if speed_spread < 1.0 or bandwidth_spread < 1.0:
+            raise ValueError("spreads must be >= 1")
+        if lttr_seconds is not None and lttr_seconds <= 0:
+            raise ValueError("lttr_seconds must be positive")
+        self.availability = availability
+        self.speed_spread = speed_spread
+        self.bandwidth_spread = bandwidth_spread
+        self.base_network = base_network
+        self.lttr_seconds = lttr_seconds
+        self._trait_cache: dict[int, tuple[float, float]] = {}
+
+    def bind(self, task, config) -> None:
+        super().bind(task, config)
+        # traits are keyed by config.seed at draw time; a rebind (same
+        # instance, new config) must not serve the previous seed's cache
+        self._trait_cache.clear()
+
+    def _traits(self, client_id: int) -> tuple[float, float]:
+        """(speed, bandwidth_divisor) for one client, drawn on demand."""
+        client_id = int(client_id)
+        cached = self._trait_cache.get(client_id)
+        if cached is not None:
+            return cached
+        rng = np.random.default_rng(
+            [self.config.seed, self._TRAIT_TAG, client_id]
+        )
+        speed = float(np.exp(rng.normal(0.0, _spread_sigma(self.speed_spread))))
+        bw = float(np.exp(rng.normal(0.0, _spread_sigma(self.bandwidth_spread))))
+        if len(self._trait_cache) >= 4096:  # bound memory over long runs
+            self._trait_cache.clear()
+        self._trait_cache[client_id] = (speed, bw)
+        return speed, bw
+
+    def available_clients(self, round_index: int, rng: np.random.Generator):
+        n = self.task.n_clients
+        if self.availability >= 1.0:
+            return FleetAvailability(n, n)
+        count = int(rng.binomial(n, self.availability))
+        # a server cannot run an empty round; mirror the historical
+        # fallback of at least one reachable device
+        return FleetAvailability(n, max(count, 1))
+
+    def compute_seconds(self, round_index, client_id, measured_lttr, rng) -> float:
+        base = self.lttr_seconds if self.lttr_seconds is not None else measured_lttr
+        return base * self._traits(client_id)[0]
+
+    def network(self, round_index: int, client_id: int) -> NetworkModel:
+        return _scaled_network(self.base_network, self._traits(client_id)[1])
+
+
+#: Fleet sizes at or above this threshold switch full availability to
+#: the lazy :class:`FleetAvailability` descriptor (and selection to
+#: :func:`sample_index_cohort`).  Far above every paper-scale fleet
+#: (K <= 1000), so existing trajectories are untouched; far below the
+#: million-client regime, so fleet runs never pay O(K) per round.
+LAZY_AVAILABILITY_THRESHOLD = 100_000
+
+
 #: Named device profiles selectable via ``FLConfig.system``.
 DEVICE_PROFILES: dict[str, Callable[[], SystemModel]] = {
     "ideal": IdealSystem,
@@ -307,6 +496,11 @@ DEVICE_PROFILES: dict[str, Callable[[], SystemModel]] = {
     # identical across hosts, backends, and reruns.
     "straggler": lambda: HeterogeneousSystem(
         speed_spread=8.0, bandwidth_spread=4.0, deadline_factor=1.5, lttr_seconds=1.0
+    ),
+    # million-client regime: O(cohort) per-round cost, on-demand traits,
+    # binomial availability, virtual compute base (fully deterministic)
+    "fleet": lambda: FleetSystem(
+        availability=0.6, speed_spread=4.0, bandwidth_spread=2.0, lttr_seconds=1.0
     ),
 }
 

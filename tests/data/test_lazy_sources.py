@@ -1,0 +1,147 @@
+"""Lazy client data sources: bit-identical to the eager path.
+
+The fleet-scale refactor lets ``client_data`` be a
+:class:`~repro.data.registry.ClientDataSource` materializing payloads on
+demand.  These tests pin the core contract: for every one of the five
+paper tasks, the lazy source produces byte-for-byte the payloads and
+sizes of the eager list — so switching a task to lazy access can never
+change a trajectory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.registry import (
+    ALL_TASK_NAMES,
+    TASK_NAMES,
+    ClientDataSource,
+    EagerClientData,
+    FleetImageSource,
+    make_fleet_task,
+    make_task,
+    task_summary,
+)
+
+
+def _payloads_equal(a, b) -> bool:
+    if isinstance(a, tuple):
+        return isinstance(b, tuple) and all(
+            np.array_equal(x, y) for x, y in zip(a, b)
+        )
+    return np.array_equal(a, b)
+
+
+class TestLazyMatchesEager:
+    @pytest.mark.parametrize("name", TASK_NAMES)
+    def test_payloads_and_sizes_bit_identical(self, name):
+        eager = make_task(name, "small", seed=1)
+        lazy = make_task(name, "small", seed=1, lazy=True)
+        assert isinstance(lazy.client_data, ClientDataSource)
+        assert lazy.n_clients == eager.n_clients
+        for c in range(eager.n_clients):
+            assert _payloads_equal(eager.client_payload(c), lazy.client_payload(c))
+            assert eager.client_size(c) == lazy.client_size(c)
+        assert eager.min_client_size() == lazy.min_client_size()
+
+    @pytest.mark.parametrize("name", ("mnist", "ptb"))
+    def test_batcher_streams_identical(self, name):
+        """The same (seed, round, client) RNG over a lazy payload yields
+        the same minibatches — the engine-level equivalence."""
+        eager = make_task(name, "small", seed=1)
+        lazy = make_task(name, "small", seed=1, lazy=True)
+        for c in (0, eager.n_clients - 1):
+            be = eager.batcher(c, 8, np.random.default_rng([0, 1, c]))
+            bl = lazy.batcher(c, 8, np.random.default_rng([0, 1, c]))
+            for _ in range(3):
+                batch_e, batch_l = be.next_batch(), bl.next_batch()
+                assert _payloads_equal(tuple(batch_e), tuple(batch_l))
+
+    def test_repeated_access_is_stable(self):
+        lazy = make_task("fmnist", "small", seed=3, lazy=True)
+        first = lazy.client_payload(5)
+        second = lazy.client_payload(5)
+        assert _payloads_equal(first, second)
+
+    def test_slicing_sources_do_not_ship_payloads(self):
+        """Array-backed lazy sources resolve locally in pool workers
+        (the arrays already live there); only *generated* sources ship."""
+        for name in ("mnist", "ptb"):
+            assert not make_task(name, "small", seed=1, lazy=True).ships_cohort_payloads
+
+
+class TestEagerAdapter:
+    def test_wraps_plain_list(self):
+        payloads = [np.arange(4), np.arange(9)]
+        source = EagerClientData(payloads)
+        assert not source.ships_payloads
+        assert len(source) == 2
+        assert np.array_equal(source.client_payload(1), np.arange(9))
+        assert np.array_equal(source[1], np.arange(9))
+        assert source.client_size(0) == 4
+        assert source.min_client_size() == 4
+        assert [len(p) for p in source] == [4, 9]
+
+    def test_raw_lists_still_work_on_tasks(self, tiny_image_task):
+        """The historical plain-list shape needs no adapter at all."""
+        assert tiny_image_task.n_clients == 4
+        assert tiny_image_task.client_size(0) == 40
+        assert tiny_image_task.min_client_size() == 40
+        assert not tiny_image_task.ships_cohort_payloads
+
+
+class TestFleetSource:
+    def test_fleet_task_registered(self):
+        assert "fleet" in ALL_TASK_NAMES
+        assert "fleet" not in TASK_NAMES  # artifact sweeps must not pick it up
+
+    def test_payloads_deterministic_per_client(self):
+        task = make_task("fleet", "small", seed=2)
+        source = task.client_data
+        assert isinstance(source, FleetImageSource)
+        assert task.ships_cohort_payloads
+        a = source.client_payload(1234)
+        b = source.client_payload(1234)
+        assert _payloads_equal(a, b)
+
+    def test_distinct_clients_distinct_data(self):
+        task = make_task("fleet", "small", seed=2)
+        x1, _ = task.client_payload(7)
+        x2, _ = task.client_payload(8)
+        assert not np.array_equal(x1, x2)
+
+    def test_sizes_constant_and_o1(self):
+        task = make_task("fleet", "small", seed=2)
+        assert task.client_size(0) == task.client_size(task.n_clients - 1)
+        assert task.min_client_size() == task.client_size(0)
+
+    def test_million_client_construction_is_cheap(self):
+        """Building the paper-scale fleet must not walk K clients."""
+        task = make_task("fleet", "paper", seed=1)
+        assert task.n_clients == 1_000_000
+        # summary samples rather than walks
+        summary = task_summary(task)
+        assert "clients=1000000" in summary and "~" in summary
+
+    def test_payload_shape_matches_model_spec(self):
+        task = make_task("fleet", "small", seed=0)
+        x, y = task.client_payload(0)
+        assert x.shape == (task.client_size(0), task.model_spec["input_dim"])
+        assert y.shape == (task.client_size(0),)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            FleetImageSource(
+                np.zeros((10, 64)), mix=0.1, noise=1.0,
+                samples_per_client=0, n_clients=10, seed=0,
+            )
+
+    def test_make_fleet_task_arbitrary_size(self):
+        """The sized builder honors K exactly and matches the preset's
+        payloads at the preset's geometry."""
+        task = make_fleet_task(n_clients=123_456, seed=1)
+        assert task.n_clients == 123_456
+        preset = make_task("fleet", "paper", seed=1)
+        sized = make_fleet_task(n_clients=1_000_000, seed=1)
+        assert _payloads_equal(preset.client_payload(42), sized.client_payload(42))

@@ -8,6 +8,9 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.data.partition import (
+    contiguous_client_chunk,
+    contiguous_client_span,
+    fleet_shard_rng,
     partition_dirichlet,
     partition_iid,
     partition_label_shards,
@@ -101,6 +104,29 @@ class TestDirichlet:
 
         assert skew(0.05) > skew(100.0)
 
+    def test_donor_excludes_starved_client(self):
+        """Regression: the rebalance donor argmax must exclude the
+        starved client — self-stealing looped forever on uniformly tiny
+        fleets with min_per_client > 1."""
+        rng = np.random.default_rng(3)
+        labels = rng.integers(0, 3, size=24)
+        parts = partition_dirichlet(labels, 8, alpha=0.05, rng=rng, min_per_client=3)
+        assert_disjoint_cover(parts, 24)
+        assert all(len(p) >= 3 for p in parts)
+
+    def test_infeasible_min_per_client_raises(self):
+        """Too few samples to guarantee the floor fails loudly instead
+        of hanging in the rebalance loop."""
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 3, size=10)
+        with pytest.raises(ValueError, match="min_per_client"):
+            partition_dirichlet(labels, 5, alpha=0.5, rng=rng, min_per_client=3)
+
+    def test_negative_min_per_client_rejected(self):
+        with pytest.raises(ValueError):
+            partition_dirichlet(np.zeros(10, dtype=int), 2, rng=np.random.default_rng(0),
+                                min_per_client=-1)
+
 
 class TestStreamContiguous:
     @settings(max_examples=30, deadline=None)
@@ -115,3 +141,44 @@ class TestStreamContiguous:
         parts = partition_stream_contiguous(100, 7, np.random.default_rng(0))
         for p in parts:
             np.testing.assert_array_equal(p, np.arange(p[0], p[-1] + 1))
+
+
+class TestO1ClientAssignment:
+    """The fleet-scale per-client functions must agree pointwise with
+    the eager list-returning partitions."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(length=st.integers(1, 500_000), n_clients=st.integers(1, 1000))
+    def test_span_matches_linspace_cuts(self, length, n_clients):
+        if length < n_clients:
+            length = n_clients
+        bounds = np.linspace(0, length, n_clients + 1).astype(int)
+        for c in [0, n_clients // 2, n_clients - 1]:
+            start, stop = contiguous_client_span(length, n_clients, c)
+            assert (start, stop) == (int(bounds[c]), int(bounds[c + 1]))
+
+    @settings(max_examples=20, deadline=None)
+    @given(length=st.integers(10, 2000), n_clients=st.integers(1, 12))
+    def test_chunks_cover_disjointly(self, length, n_clients):
+        if length < n_clients:
+            length = n_clients
+        chunks = [
+            contiguous_client_chunk(length, n_clients, c) for c in range(n_clients)
+        ]
+        assert_disjoint_cover(chunks, length)
+
+    def test_out_of_range_client_rejected(self):
+        with pytest.raises(ValueError):
+            contiguous_client_span(100, 10, 10)
+        with pytest.raises(ValueError):
+            contiguous_client_span(100, 10, -1)
+
+    def test_fleet_shard_rng_keyed_not_ordered(self):
+        """Streams are pure functions of (seed, client): drawing client
+        5 first or last yields the same shard."""
+        a = fleet_shard_rng(7, 5).normal(size=8)
+        fleet_shard_rng(7, 123).normal(size=100)  # unrelated consumption
+        b = fleet_shard_rng(7, 5).normal(size=8)
+        np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(a, fleet_shard_rng(7, 6).normal(size=8))
+        assert not np.array_equal(a, fleet_shard_rng(8, 5).normal(size=8))

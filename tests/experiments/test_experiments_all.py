@@ -53,7 +53,9 @@ class TestConfigs:
 
     def test_tta_targets_cover_scales(self):
         for scale in ("small", "paper"):
-            assert set(TTA_TARGETS[scale]) == {"mnist", "fmnist", "ptb", "wikitext2", "reddit"}
+            assert set(TTA_TARGETS[scale]) == {
+                "mnist", "fmnist", "ptb", "wikitext2", "reddit", "fleet"
+            }
 
     def test_method_lists_match_paper(self):
         assert TABLE1_METHODS[0] == "fedavg" and TABLE1_METHODS[-1] == "fedbiad"

@@ -5,7 +5,12 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+import json
+
 from repro.fl.checkpoints import (
+    dumps_nan_safe,
+    history_from_payload,
+    history_to_payload,
     load_history,
     load_params,
     restore_checkpoint,
@@ -52,6 +57,73 @@ def test_history_roundtrip(tmp_path):
     assert np.isnan(loaded.records[0].test_accuracy)
     assert loaded.records[1].test_accuracy == 0.8
     assert loaded.best_accuracy == 0.8
+
+
+class TestDumpsNanSafe:
+    def test_string_containing_nan_survives(self):
+        """Regression: the old text-level .replace("NaN", "null")
+        corrupted any *string* containing the substring."""
+        payload = {"method": "NaN-robust-avg", "note": "baNaNa", "loss": float("nan")}
+        decoded = json.loads(dumps_nan_safe(payload))
+        assert decoded["method"] == "NaN-robust-avg"
+        assert decoded["note"] == "baNaNa"
+        assert decoded["loss"] is None
+
+    def test_infinities_become_null(self):
+        """Regression: Infinity/-Infinity used to pass straight through,
+        producing invalid JSON for strict parsers."""
+        text = dumps_nan_safe({"hi": float("inf"), "lo": float("-inf")})
+        assert "Infinity" not in text
+        decoded = json.loads(text)
+        assert decoded["hi"] is None and decoded["lo"] is None
+
+    def test_numpy_scalars_and_nested_containers(self):
+        payload = {
+            "n": np.int64(3),
+            "x": np.float64(1.5),
+            "bad": [np.float32("nan"), (1, np.inf)],
+            "arr": np.array([1.0, np.nan]),
+        }
+        decoded = json.loads(dumps_nan_safe(payload))
+        assert decoded == {"n": 3, "x": 1.5, "bad": [None, [1, None]], "arr": [1.0, None]}
+
+    def test_strictly_valid_json(self):
+        # allow_nan=False means anything non-finite sneaking past the
+        # sanitizer raises rather than emitting invalid JSON
+        json.loads(dumps_nan_safe({"v": [float("nan"), 1.0, "NaN"]}))
+
+
+class TestFieldAgnosticRestore:
+    def test_all_float_fields_restore_nan(self):
+        """Regression: null -> NaN restoration only covered the three
+        loss/accuracy columns; lttr/sim-clock/staleness round-tripped as
+        None and poisoned numeric ops."""
+        history = History("fedbuff", "mnist")
+        history.append(
+            RoundRecord(
+                round_index=1, train_loss=1.0, test_loss=float("nan"),
+                test_accuracy=float("nan"), upload_bits_mean=10.0,
+                upload_bits_total=20, download_bits_per_client=30,
+                n_selected=2, lttr_seconds_mean=float("nan"),
+                aggregation_seconds=float("nan"),
+                sim_round_seconds=float("nan"),
+                sim_clock_seconds=float("nan"),
+                flush_index=1, staleness_mean=float("nan"), staleness_max=2,
+            )
+        )
+        payload = json.loads(dumps_nan_safe(history_to_payload(history)))
+        loaded = history_from_payload(payload)
+        rec = loaded.records[0]
+        for field in (
+            "test_loss", "test_accuracy", "lttr_seconds_mean",
+            "aggregation_seconds", "sim_round_seconds", "sim_clock_seconds",
+            "staleness_mean",
+        ):
+            value = getattr(rec, field)
+            assert isinstance(value, float) and np.isnan(value), field
+        # numeric ops over the restored series must not choke on None
+        assert np.isnan(loaded.series("staleness_mean")).all()
+        assert rec.staleness_max == 2 and rec.flush_index == 1
 
 
 def test_simulation_params_checkpoint(tmp_path, tiny_image_task, fast_config):
@@ -149,6 +221,42 @@ def test_restore_rejects_mode_mismatch(tmp_path, tiny_image_task, fast_config):
             restore_checkpoint(async_sim, path)
     finally:
         async_sim.close()
+
+
+def test_legacy_subclass_overrides_still_honored(tmp_path, tiny_image_task, fast_config):
+    """A subclass written against the pre-deepcopy API — overriding the
+    public checkpoint_state/restore_state(state) pair — must still have
+    its overrides called (and its extra fields preserved) by
+    save_checkpoint/restore_checkpoint."""
+    from repro.baselines.fedavg import FedAvg
+    from repro.fl.simulation import FederatedSimulation
+
+    class LegacySim(FederatedSimulation):
+        extra = "unset"
+
+        def checkpoint_state(self):
+            state = super().checkpoint_state()
+            state["extra"] = "legacy-field"
+            return state
+
+        def restore_state(self, state):  # old single-argument signature
+            super().restore_state(state)
+            self.extra = state["extra"]
+
+    sim = LegacySim(tiny_image_task, FedAvg(), fast_config)
+    try:
+        sim.history.append(sim.run_round(1))
+        path = tmp_path / "legacy.ckpt"
+        save_checkpoint(sim, path)
+    finally:
+        sim.close()
+    restored = LegacySim(tiny_image_task, FedAvg(), fast_config)
+    try:
+        restore_checkpoint(restored, path)
+        assert restored.extra == "legacy-field"
+        assert restored._next_round == 2
+    finally:
+        restored.close()
 
 
 def test_async_checkpoint_preserves_in_flight_uploads(tmp_path, tiny_image_task, fast_config):
