@@ -20,11 +20,12 @@ Subpackages
 ``repro.baselines``    FedAvg, FedDrop, AFD, FedMP, FjORD, HeteroFL
 ``repro.compression``  DGC, SignSGD, FedPAQ, STC and their composition
 ``repro.comm``         5G link model, LTTR/TTA accounting
+``repro.traces``       trace-driven device & availability subsystem
 ``repro.theory``       Theorem 1's generalization bounds
 ``repro.experiments``  harness regenerating every table and figure
 """
 
-from . import baselines, comm, compression, core, data, experiments, fl, nn, theory
+from . import baselines, comm, compression, core, data, experiments, fl, nn, theory, traces
 
 __version__ = "1.0.0"
 
@@ -36,6 +37,7 @@ __all__ = [
     "baselines",
     "compression",
     "comm",
+    "traces",
     "theory",
     "experiments",
     "__version__",

@@ -40,6 +40,7 @@ __all__ = [
     "RoundTiming",
     "round_timings",
     "lttr_seconds",
+    "sim_lttr_seconds",
     "time_to_accuracy",
     "simulated_seconds",
     "simulated_time_to_accuracy",
@@ -86,6 +87,19 @@ def round_timings(history: History, network: NetworkModel = TMOBILE_5G) -> list[
 def lttr_seconds(history: History) -> float:
     """Mean local training time per round (Fig. 7a/7b)."""
     return float(np.mean(history.series("lttr_seconds_mean")))
+
+
+def sim_lttr_seconds(history: History) -> float:
+    """Mean *simulated* local compute per round — the system model's
+    device-scaled view of LTTR (``sim_compute_seconds_mean`` column).
+
+    Returns ``0.0`` for histories that never populated the column
+    (runs predating it); callers treat a non-positive value as "no
+    simulated LTTR available" and fall back to the measured
+    :func:`lttr_seconds`.
+    """
+    values = history.series("sim_compute_seconds_mean")
+    return float(values.mean()) if values.size else 0.0
 
 
 def time_to_accuracy(

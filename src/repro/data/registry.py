@@ -189,9 +189,18 @@ class FleetImageSource(ClientDataSource):
     :func:`~repro.data.partition.fleet_shard_rng` ``(seed, c)`` — a pure
     function of the key, so any client can be materialized in any
     process in O(shard), with O(1) state held here (the class
-    prototypes).  ``client_size`` is a constant, making
-    ``min_client_size`` O(1) — fleet methods must never walk all K
-    clients at setup.
+    prototypes).  ``client_size`` is O(1) — fleet methods must never
+    walk all K clients at setup.
+
+    ``size_spread > 1`` turns on per-client *size* heterogeneity:
+    ``|D_k|`` is log-normal around ``samples_per_client`` (sigma =
+    ``log(size_spread) / 2``), clipped to
+    ``[samples / size_spread, samples * size_spread]`` (never below 2,
+    so every client can form a batch).  The size is the *first* draw of
+    the client's shard stream, so it is recoverable in O(1) without
+    generating the shard, in any process; ``size_spread=1`` (the
+    default, and every preset) draws nothing extra and keeps the
+    historical payload stream bit-for-bit.
     """
 
     ships_payloads = True
@@ -204,28 +213,49 @@ class FleetImageSource(ClientDataSource):
         samples_per_client: int,
         n_clients: int,
         seed: int,
+        size_spread: float = 1.0,
     ) -> None:
         if samples_per_client < 1 or n_clients < 1:
             raise ValueError("samples_per_client and n_clients must be >= 1")
+        if size_spread < 1.0:
+            raise ValueError("size_spread must be >= 1 (1.0 = homogeneous sizes)")
         self._protos = protos
         self._mix = mix
         self._noise = noise
         self._samples = int(samples_per_client)
         self._n_clients = int(n_clients)
         self._seed = int(seed)
+        self._size_spread = float(size_spread)
+        self._min_samples = max(2, int(round(self._samples / self._size_spread)))
+        self._max_samples = max(
+            self._min_samples, int(round(self._samples * self._size_spread))
+        )
 
     def __len__(self) -> int:
         return self._n_clients
 
+    def _shard_size(self, rng: np.random.Generator) -> int:
+        """|D_k| from the shard stream's leading draw (none at spread 1)."""
+        if self._size_spread <= 1.0:
+            return self._samples
+        sigma = np.log(self._size_spread) / 2.0
+        size = int(round(self._samples * float(np.exp(rng.normal(0.0, sigma)))))
+        return int(np.clip(size, self._min_samples, self._max_samples))
+
     def client_payload(self, client_id: int):
         rng = fleet_shard_rng(self._seed, client_id)
-        return _sample_split(self._samples, self._protos, self._mix, self._noise, rng)
+        n = self._shard_size(rng)
+        return _sample_split(n, self._protos, self._mix, self._noise, rng)
 
     def client_size(self, client_id: int) -> int:
-        return self._samples
+        if self._size_spread <= 1.0:  # constant sizes: skip the rng build
+            return self._samples
+        return self._shard_size(fleet_shard_rng(self._seed, client_id))
 
     def min_client_size(self) -> int:
-        return self._samples
+        """The size clip's floor: an O(1) lower bound on ``min_k |D_k|``
+        (exact at ``size_spread=1``; a fleet walk is never allowed)."""
+        return self._min_samples if self._size_spread > 1.0 else self._samples
 
 
 @dataclass
@@ -474,6 +504,7 @@ def _make_fleet_task(cfg: dict, seed: int) -> FederatedTask:
         samples_per_client=cfg["samples_per_client"],
         n_clients=cfg["n_clients"],
         seed=seed,
+        size_spread=cfg.get("size_spread", 1.0),
     )
     test_rng = np.random.default_rng([seed, 0x7E57])
     x_test, y_test = _sample_split(cfg["n_test"], protos, mix, noise, test_rng)
@@ -503,16 +534,20 @@ def make_fleet_task(
     hidden: tuple = (32,),
     dropout_rate: float = 0.2,
     seed: int = 0,
+    size_spread: float = 1.0,
 ) -> FederatedTask:
     """A fleet task at an *arbitrary* fleet size.
 
     ``make_task("fleet", scale)`` covers the two presets (small K=5000,
     paper K=1,000,000); this builder is for everything in between and
     beyond — construction cost stays independent of ``n_clients``.
+    ``size_spread > 1`` makes ``|D_k|`` log-normal per client (see
+    :class:`FleetImageSource`).
     """
     cfg = dict(
         side=side, n_clients=n_clients, samples_per_client=samples_per_client,
         n_test=n_test, hidden=hidden, difficulty=difficulty, p=dropout_rate,
+        size_spread=size_spread,
     )
     return _make_fleet_task(cfg, seed)
 
@@ -553,23 +588,42 @@ def make_task(
 _SUMMARY_SAMPLE_THRESHOLD = 10_000
 
 
-def task_summary(task: FederatedTask) -> str:
+def task_summary(task: FederatedTask, system=None) -> str:
     """One-line description used by the benchmark reports.
 
     For fleets beyond :data:`_SUMMARY_SAMPLE_THRESHOLD` clients the
     min/max sample sizes are estimated from a deterministic 1000-client
     sample (marked ``~``) — a summary line must not cost O(fleet).
+
+    When a trace-backed ``system`` (anything carrying a device trace,
+    e.g. :class:`repro.traces.TraceSystem`) is passed, the line also
+    reports the trace name and its device-class composition over the
+    same deterministic sample.
     """
     n = task.n_clients
     if n > _SUMMARY_SAMPLE_THRESHOLD:
         ids = np.linspace(0, n - 1, 1000).astype(int)
-        sizes = [task.client_size(int(c)) for c in ids]
         approx = "~"
     else:
-        sizes = [task.client_size(c) for c in range(n)]
+        ids = np.arange(n)
         approx = ""
-    return (
+    sizes = [task.client_size(int(c)) for c in ids]
+    line = (
         f"{task.name}: kind={task.kind} clients={n} "
         f"samples/client min={approx}{min(sizes)} max={approx}{max(sizes)} "
         f"metric={task.metric}"
     )
+    # duck-typed (not isinstance) so repro.data never imports
+    # repro.traces: any system exposing a DeviceTrace-shaped `.trace`
+    # gets its composition reported
+    trace = getattr(system, "trace", None)
+    if trace is not None and hasattr(trace, "client_record"):
+        counts: dict[str, int] = {}
+        for c in ids:
+            name = trace.client_record(int(c)).device_class
+            counts[name] = counts.get(name, 0) + 1
+        composition = " ".join(
+            f"{name}={approx}{count}" for name, count in sorted(counts.items())
+        )
+        line += f" | trace={trace.name} classes: {composition}"
+    return line

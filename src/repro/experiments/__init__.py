@@ -19,6 +19,7 @@ from .ablations import (
 )
 from .configs import (
     FIG2_METHODS,
+    FIG7_TRACED,
     TABLE1_METHODS,
     TABLE2_METHODS,
     TTA_TARGETS,
@@ -56,6 +57,7 @@ __all__ = [
     "TABLE1_METHODS",
     "TABLE2_METHODS",
     "TTA_TARGETS",
+    "FIG7_TRACED",
     "ExperimentPreset",
     "active_scale",
     "preset_for",

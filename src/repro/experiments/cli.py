@@ -13,6 +13,13 @@ Usage::
     python -m repro.experiments.cli run fleet fedavg --rounds 3
     python -m repro.experiments.cli run fleet fedavg --rounds 3 --scale paper
 
+    # trace-driven device heterogeneity (repro.traces): a registered
+    # trace name, a trace-file path, or bare --trace for the scale's
+    # fig7-traced preset
+    python -m repro.experiments.cli run mnist fedbiad --trace flash
+    python -m repro.experiments.cli fig7 --trace
+    python -m repro.experiments.cli sweep fig7 --trace my_fleet.json
+
     # sharded, resumable sweeps against an on-disk store
     python -m repro.experiments.cli sweep table1 --shards 4 --store runs/
     python -m repro.experiments.cli sweep table1 --shards 4 --store runs/   # resume
@@ -44,13 +51,16 @@ from __future__ import annotations
 
 import argparse
 import sys
+from functools import partial
 
 from ..baselines.registry import METHOD_NAMES
 from ..compression.registry import COMPRESSOR_NAMES
 from ..data.registry import ALL_TASK_NAMES, TASK_NAMES
 from ..fl.engine import BACKEND_NAMES
 from ..fl.systems import SYSTEM_NAMES
+from ..traces import trace_system_spec
 from .ablations import ablation_rows, ablations_spec, format_ablations
+from .configs import resolve_fig7_trace
 from .context import ExecutionContext
 from .fig2 import fig2_result, fig2_spec, format_fig2
 from .fig6 import fig6_panels, fig6_spec, format_fig6
@@ -117,6 +127,20 @@ def context_from_args(args: argparse.Namespace) -> ExecutionContext:
     )
 
 
+def _add_trace_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--trace", nargs="?", const="preset", default=None,
+                   help="run under a device trace: a registered trace name, "
+                        "a trace-file path, or no value for the scale's "
+                        "fig7-traced preset (see repro.traces)")
+
+
+def _check_trace_conflict(args) -> None:
+    """A trace *is* the device model; combining it with a profile would
+    silently discard one of them."""
+    if getattr(args, "trace", None) and getattr(args, "device_profile", None):
+        raise SystemExit("--trace and --device-profile are mutually exclusive")
+
+
 def _dataset_list(raw: str | None, default: tuple[str, ...]) -> tuple[str, ...]:
     if not raw:
         return default
@@ -172,6 +196,8 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--datasets", default=None, help="comma-separated subset")
         p.add_argument("--scale", default=None, choices=("small", "paper"))
         _add_execution_flags(p)
+        if name == "fig7":
+            _add_trace_flag(p)
     for name in ("fig2", "fig8"):
         p = sub.add_parser(name)
         p.add_argument("--scale", default=None, choices=("small", "paper"))
@@ -191,6 +217,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--scale", default=None, choices=("small", "paper"))
     _add_execution_flags(p)
+    _add_trace_flag(p)
 
     p = sub.add_parser(
         "sweep",
@@ -220,6 +247,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="compute at most N cells this invocation, leaving "
                         "the rest pending")
     _add_execution_flags(p)
+    _add_trace_flag(p)
     return parser
 
 
@@ -237,6 +265,11 @@ def _single_dataset(args, default: str) -> str:
 
 def _build_sweep(args):
     """The chosen artifact's sweep plus its results->text renderer."""
+    if args.trace is not None and args.artifact != "fig7":
+        raise SystemExit(
+            f"--trace is a fig7 feature (the traced LTTR/TTA variant); "
+            f"{args.artifact} sweeps do not accept it"
+        )
     overrides = {"rounds": args.rounds} if args.rounds is not None else None
     seeds = _seed_list(args.seeds)
     if args.artifact not in ("table1", "table2") and len(seeds) > 1:
@@ -269,7 +302,11 @@ def _build_sweep(args):
         return grid(fig6_spec, fig6_panels, format_fig6,
                     ("mnist", "wikitext2"), per_seed=True)
     if args.artifact == "fig7":
-        return grid(fig7_spec, fig7_rows, format_fig7,
+        spec_fn = fig7_spec
+        if args.trace is not None:
+            _check_trace_conflict(args)
+            spec_fn = partial(fig7_spec, trace=args.trace)
+        return grid(spec_fn, fig7_rows, format_fig7,
                     ("mnist", "fmnist", "wikitext2", "reddit"), per_seed=True)
     if args.artifact == "fig8":
         dataset = _single_dataset(args, default="reddit")
@@ -346,8 +383,9 @@ def main(argv: list[str] | None = None) -> int:
         spec = fig6_spec(datasets=datasets, scale=args.scale)
         print(format_fig6(fig6_panels(run_sweep(spec, context=context))))
     elif args.command == "fig7":
+        _check_trace_conflict(args)
         datasets = _dataset_list(args.datasets, ("mnist", "fmnist", "wikitext2", "reddit"))
-        spec = fig7_spec(datasets=datasets, scale=args.scale)
+        spec = fig7_spec(datasets=datasets, scale=args.scale, trace=args.trace)
         print(format_fig7(fig7_rows(run_sweep(spec, context=context))))
     elif args.command == "fig8":
         spec = fig8_spec(scale=args.scale)
@@ -359,11 +397,15 @@ def main(argv: list[str] | None = None) -> int:
                              dataset=dataset, scale=args.scale)
         print(format_ablations(rows, dataset))
     elif args.command == "run":
+        _check_trace_conflict(args)
         overrides = {}
         if args.rounds is not None:
             overrides["rounds"] = args.rounds
         if args.dropout_rate is not None:
             overrides["dropout_rate"] = args.dropout_rate
+        if args.trace is not None:
+            trace = resolve_fig7_trace(args.trace, args.scale)
+            overrides["system"] = trace_system_spec(trace)
         result = run_experiment(
             args.task, args.method, scale=args.scale, seed=args.seed,
             config_overrides=overrides or None, context=context,
@@ -380,12 +422,13 @@ def main(argv: list[str] | None = None) -> int:
         if context.mode == "async":
             line += f", mean staleness {result.history.mean_staleness():.2f}"
         print(line)
-        if context.system not in (None, "ideal"):
+        system = overrides.get("system", context.system)
+        if system not in (None, "ideal"):
             per_round = ", ".join(
                 f"r{r.round_index}:{r.n_selected}/{r.n_scheduled}"
                 for r in result.history.records
             )
-            print(f"  per-round participation [{context.system}]: {per_round}")
+            print(f"  per-round participation [{system}]: {per_round}")
     return 0
 
 

@@ -27,6 +27,8 @@ __all__ = [
     "TABLE2_METHODS",
     "FIG2_METHODS",
     "TTA_TARGETS",
+    "FIG7_TRACED",
+    "resolve_fig7_trace",
 ]
 
 #: Table I / Fig. 6 method line-up, in the paper's row order.
@@ -80,6 +82,22 @@ TTA_TARGETS = {
     "paper": {"mnist": 0.90, "fmnist": 0.80, "ptb": 0.28, "wikitext2": 0.31,
               "reddit": 0.30, "fleet": 0.80},
 }
+
+# Fig. 7 traced presets: the registered device trace behind the
+# fig7-traced variant at each scale (`fig7_spec(trace="preset")`, CLI
+# `--trace` with no value).  "flash" is the always-on Zipf fleet (rows
+# stay deterministic round to round); the paper scale layers the
+# 24-period diurnal availability cycle on top.  See repro.traces.
+FIG7_TRACED = {"small": "flash", "paper": "flash-diurnal"}
+
+
+def resolve_fig7_trace(trace: str, scale: str | None = None) -> str:
+    """Resolve a ``--trace`` value: the literal ``"preset"`` maps to the
+    scale's :data:`FIG7_TRACED` entry, anything else passes through.
+    The single resolution rule shared by ``fig7_spec`` and the CLI."""
+    if trace == "preset":
+        return FIG7_TRACED[scale or active_scale()]
+    return trace
 
 _TEXT_SMALL = FLConfig(
     rounds=60,

@@ -9,6 +9,15 @@ target).
 
 Declarative form: :func:`fig7_spec` + :func:`fig7_rows` (targets come
 from each cell's recorded scale); ``run_fig7`` is a deprecated shim.
+
+Traced variant: ``fig7_spec(trace=...)`` pins every cell to a device
+trace (``FLConfig.system = "trace:<name-or-path>"``; ``trace="preset"``
+resolves the scale's :data:`~repro.experiments.configs.FIG7_TRACED`
+entry).  :func:`fig7_rows` detects traced cells and reads their LTTR
+and TTA off the **virtual clock** — the trace's device-scaled compute
+(``sim_compute_seconds_mean``) and the simulated time base — instead of
+host wall-clock and the post-hoc barrier composition, so Table-style
+LTTR/TTA rows regenerate under trace-calibrated device distributions.
 """
 
 from __future__ import annotations
@@ -17,7 +26,9 @@ import warnings
 from dataclasses import dataclass
 
 from ..comm.network import TMOBILE_5G, NetworkModel
-from .configs import TTA_TARGETS
+from ..comm.timing import sim_lttr_seconds
+from ..traces import is_trace_spec, trace_system_spec
+from .configs import TTA_TARGETS, resolve_fig7_trace
 from .reporting import format_table
 from .spec import SweepSpec
 from .sweep import SweepResult, run_sweep
@@ -35,6 +46,8 @@ class Fig7Row:
     lttr_seconds: float
     tta_seconds: float | None
     target_accuracy: float
+    #: the cell's device behaviour: a profile name or a trace spec
+    system: str = "ideal"
 
 
 def fig7_spec(
@@ -43,30 +56,56 @@ def fig7_spec(
     scale: str | None = None,
     seed: int = 0,
     overrides: dict | None = None,
+    trace: str | None = None,
 ) -> SweepSpec:
-    """Fig. 7's sweep: the five bar methods on each dataset."""
+    """Fig. 7's sweep: the five bar methods on each dataset.
+
+    ``trace`` switches the sweep to the traced variant: a registered
+    trace name, a trace-file path, or the literal ``"preset"`` for the
+    scale's :data:`~repro.experiments.configs.FIG7_TRACED` default.
+    """
+    overrides = dict(overrides or {})
+    name = "fig7"
+    if trace is not None:
+        trace = resolve_fig7_trace(trace, scale)
+        overrides["system"] = trace_system_spec(trace)
+        name = "fig7-traced"
     return SweepSpec.grid(
-        "fig7", tasks=datasets, methods=methods, seeds=(seed,),
-        scale=scale, overrides=overrides,
+        name, tasks=datasets, methods=methods, seeds=(seed,),
+        scale=scale, overrides=overrides or None,
     )
 
 
 def fig7_rows(results: SweepResult, network: NetworkModel = TMOBILE_5G) -> list[Fig7Row]:
     """One row per finished cell, with the TTA target read from the
     cell's scale (the spec records the resolved scale, so rows survive
-    ``REPRO_SCALE`` changing after the sweep ran)."""
+    ``REPRO_SCALE`` changing after the sweep ran).
+
+    Cells running under a device trace report on the virtual time
+    base: LTTR is the trace-scaled simulated compute, TTA the simulated
+    clock at the target round.
+    """
     rows = []
     for cell, result in results:
         if result is None:
             raise LookupError(f"sweep incomplete: no result for cell {cell.label()}")
         target = TTA_TARGETS[cell.scale][cell.task]
+        system = cell.overrides_dict().get("system", "ideal")
+        if is_trace_spec(system):
+            sim_lttr = sim_lttr_seconds(result.history)
+            lttr = sim_lttr if sim_lttr > 0.0 else result.lttr
+            tta = result.sim_tta(target, network)
+        else:
+            lttr = result.lttr
+            tta = result.tta(target, network)
         rows.append(
             Fig7Row(
                 dataset=cell.task,
                 method=cell.method,
-                lttr_seconds=result.lttr,
-                tta_seconds=result.tta(target, network),
+                lttr_seconds=lttr,
+                tta_seconds=tta,
                 target_accuracy=target,
+                system=system,
             )
         )
     return rows
@@ -91,20 +130,27 @@ def run_fig7(
 
 
 def format_fig7(rows: list[Fig7Row]) -> str:
+    # the System column only appears when some row ran under a non-ideal
+    # device model, so untraced output stays byte-identical
+    with_system = any(r.system != "ideal" for r in rows)
     table_rows = []
     for r in rows:
         tta = "not reached" if r.tta_seconds is None else f"{r.tta_seconds:.2f}s"
-        table_rows.append(
-            [
-                r.dataset,
-                r.method,
-                f"{r.lttr_seconds * 1e3:.1f}ms",
-                tta,
-                f"{100 * r.target_accuracy:.0f}%",
-            ]
-        )
+        row = [
+            r.dataset,
+            r.method,
+            f"{r.lttr_seconds * 1e3:.1f}ms",
+            tta,
+            f"{100 * r.target_accuracy:.0f}%",
+        ]
+        if with_system:
+            row.append(r.system)
+        table_rows.append(row)
+    headers = ["Dataset", "Method", "LTTR", "TTA", "Target"]
+    if with_system:
+        headers.append("System")
     return format_table(
-        ["Dataset", "Method", "LTTR", "TTA", "Target"],
+        headers,
         table_rows,
         title="Fig. 7: local training time per round and time-to-accuracy",
     )

@@ -214,6 +214,12 @@ class AsyncFederatedSimulation(FederatedSimulation):
             n_stragglers=0,
             sim_round_seconds=self.clock.now - flush_start,
             sim_clock_seconds=self.clock.now,
+            # arrivals were simulated on the virtual compute base, so
+            # this column stays a pure function of the seed in async
+            # mode too (traced Fig. 7 rows read it)
+            sim_compute_seconds_mean=float(
+                np.mean([e.arrival.compute_seconds for e in buffer])
+            ),
             flush_index=flush_index,
             staleness_mean=float(staleness.mean()),
             staleness_max=int(staleness.max()),

@@ -29,7 +29,9 @@ class FLConfig:
       ``"process"`` (see :mod:`repro.fl.engine`);
     * ``workers`` — process-pool size; ``0`` means all CPU cores;
     * ``system`` — device-behaviour profile name (see
-      :data:`repro.fl.systems.DEVICE_PROFILES`);
+      :data:`repro.fl.systems.DEVICE_PROFILES`), or a
+      ``"trace:<name-or-path>"`` device-trace spec replayed by
+      :class:`repro.traces.TraceSystem`;
     * ``mode`` — server aggregation discipline: ``"sync"`` closes every
       round at a barrier (Algorithm 1), ``"async"`` folds uploads in as
       they land on the virtual clock, FedBuff-style (see

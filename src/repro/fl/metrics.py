@@ -92,6 +92,11 @@ class RoundRecord:
     n_stragglers: int = 0
     sim_round_seconds: float = 0.0
     sim_clock_seconds: float = 0.0
+    #: mean *simulated* local compute across the round's scheduled
+    #: clients (sync) or the flush's buffered clients (async) — the
+    #: system model's per-device view of LTTR; 0.0 only on histories
+    #: predating the column
+    sim_compute_seconds_mean: float = 0.0
     flush_index: int = 0
     staleness_mean: float = 0.0
     staleness_max: int = 0

@@ -397,6 +397,9 @@ class FederatedSimulation:
             n_stragglers=len(stragglers),
             sim_round_seconds=self.clock.now - round_start,
             sim_clock_seconds=self.clock.now,
+            sim_compute_seconds_mean=float(
+                np.mean([a.compute_seconds for a in arrivals])
+            ),
         )
 
     def run(self, progress: bool = False) -> History:

@@ -188,7 +188,16 @@ def sample_index_cohort(
 
 
 def _spread_sigma(spread: float) -> float:
-    """Log-normal sigma realizing a heterogeneity ``spread`` (1.0 = off)."""
+    """Log-normal sigma realizing a heterogeneity ``spread``.
+
+    ``spread=1.0`` is the degenerate edge: sigma 0, every trait exactly
+    1.0 (heterogeneity off) — a valid request, e.g. from a calibration
+    fit of a homogeneous trace.  Anything below 1 is rejected here
+    rather than silently producing a negative sigma (or ``-inf`` at 0),
+    which ``Generator.normal`` would only reject later and less clearly.
+    """
+    if spread < 1.0:
+        raise ValueError(f"spread must be >= 1 (1.0 disables the axis), got {spread}")
     return np.log(spread) / 2.0
 
 
@@ -508,11 +517,24 @@ SYSTEM_NAMES = tuple(DEVICE_PROFILES)
 
 
 def make_system(name: str) -> SystemModel:
-    """Build a device profile from its registry name."""
+    """Build a device profile from its registry name.
+
+    ``"trace:<name-or-path>"`` specs (and bare ``*.json`` trace paths)
+    are delegated to the trace subsystem, which replays a recorded or
+    synthetic device trace instead of a parametric profile — see
+    :mod:`repro.traces`.
+    """
+    if name.startswith("trace:") or name.endswith(".json"):
+        from ..traces import make_trace_system
+
+        return make_trace_system(name)
     try:
         factory = DEVICE_PROFILES[name]
     except KeyError:
-        raise ValueError(f"unknown system profile {name!r}; choose from {SYSTEM_NAMES}") from None
+        raise ValueError(
+            f"unknown system profile {name!r}; choose from {SYSTEM_NAMES} "
+            f"or a 'trace:<name-or-path>' spec"
+        ) from None
     model = factory()
     model.name = name
     return model

@@ -145,3 +145,49 @@ class TestFleetSource:
         preset = make_task("fleet", "paper", seed=1)
         sized = make_fleet_task(n_clients=1_000_000, seed=1)
         assert _payloads_equal(preset.client_payload(42), sized.client_payload(42))
+
+
+class TestFleetSizeHeterogeneity:
+    """Per-client |D_k| heterogeneity: log-normal sizes keyed by
+    ``fleet_shard_rng(seed, client_id)``."""
+
+    def test_default_spread_keeps_historical_stream(self):
+        """size_spread=1 must not consume a single extra draw — every
+        existing fleet payload stays bit-identical."""
+        plain = make_fleet_task(n_clients=100, seed=3)
+        explicit = make_fleet_task(n_clients=100, seed=3, size_spread=1.0)
+        for c in (0, 57, 99):
+            assert _payloads_equal(plain.client_payload(c), explicit.client_payload(c))
+            assert plain.client_size(c) == 32
+
+    def test_sizes_vary_and_stay_in_clip_bounds(self):
+        task = make_fleet_task(n_clients=400, seed=3, size_spread=4.0)
+        sizes = [task.client_size(c) for c in range(400)]
+        assert len(set(sizes)) > 5  # genuinely heterogeneous
+        assert min(sizes) >= 8 and max(sizes) <= 128  # 32 / 4 .. 32 * 4
+        assert task.min_client_size() == 8  # the O(1) clip floor
+
+    def test_o1_size_agrees_with_generated_shard(self):
+        """Regression: the O(1) ``client_size`` path and the actually
+        generated (lazy) shard must agree client by client."""
+        for spread in (1.0, 2.0, 4.0):
+            task = make_fleet_task(n_clients=50_000, seed=5, size_spread=spread)
+            for c in (0, 13, 4_999, 49_999):
+                x, y = task.client_payload(c)
+                assert x.shape[0] == task.client_size(c)
+                assert y.shape[0] == task.client_size(c)
+
+    def test_sizes_deterministic_per_seed_client(self):
+        a = make_fleet_task(n_clients=1_000_000, seed=7, size_spread=3.0)
+        b = make_fleet_task(n_clients=1_000_000, seed=7, size_spread=3.0)
+        assert [a.client_size(c) for c in (0, 123_456, 999_999)] == [
+            b.client_size(c) for c in (0, 123_456, 999_999)
+        ]
+        other_seed = make_fleet_task(n_clients=1_000_000, seed=8, size_spread=3.0)
+        sizes_a = [a.client_size(c) for c in range(64)]
+        sizes_other = [other_seed.client_size(c) for c in range(64)]
+        assert sizes_a != sizes_other
+
+    def test_invalid_spread_rejected(self):
+        with pytest.raises(ValueError, match="size_spread"):
+            make_fleet_task(n_clients=10, size_spread=0.5)

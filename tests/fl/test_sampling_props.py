@@ -1,0 +1,73 @@
+"""Property tests for the index-space cohort sampler.
+
+:func:`repro.fl.systems.sample_index_cohort` is the selection core of
+every lazy-availability round (fleet profiles, trace replay at scale),
+so its contract is pinned by hypothesis over the whole parameter space:
+distinct ids, exclusion respected, exact cohort size, and determinism
+per ``(seed, round)`` stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fl.systems import sample_index_cohort
+
+
+@st.composite
+def _cohort_case(draw):
+    n_clients = draw(st.integers(1, 5000))
+    excluded = draw(
+        st.sets(st.integers(0, n_clients - 1), max_size=min(n_clients - 1, 40))
+    )
+    size = draw(st.integers(0, min(n_clients - len(excluded), 64)))
+    return n_clients, excluded, size
+
+
+class TestSampleIndexCohortProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(case=_cohort_case(), seed=st.integers(0, 2**31 - 1))
+    def test_no_duplicates_in_range_and_exact_size(self, case, seed):
+        n_clients, excluded, size = case
+        ids = sample_index_cohort(
+            np.random.default_rng(seed), n_clients, size, exclude=excluded
+        )
+        assert ids.shape == (size,)
+        assert len(set(ids.tolist())) == size  # no duplicates
+        if size:
+            assert ids.min() >= 0 and ids.max() < n_clients
+
+    @settings(max_examples=60, deadline=None)
+    @given(case=_cohort_case(), seed=st.integers(0, 2**31 - 1))
+    def test_exclusion_respected(self, case, seed):
+        n_clients, excluded, size = case
+        ids = sample_index_cohort(
+            np.random.default_rng(seed), n_clients, size, exclude=excluded
+        )
+        assert set(ids.tolist()).isdisjoint(excluded)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        round_index=st.integers(1, 10_000),
+        n_clients=st.integers(64, 10**7),
+    )
+    def test_deterministic_per_seed_round(self, seed, round_index, n_clients):
+        """The cohort is a pure function of the ``(seed, round)`` stream
+        key — the property sharded sweeps and resumed runs rest on."""
+        size = min(32, n_clients)
+        draws = [
+            sample_index_cohort(
+                np.random.default_rng([seed, round_index]), n_clients, size
+            )
+            for _ in range(2)
+        ]
+        np.testing.assert_array_equal(draws[0], draws[1])
+        # a different round produces a different stream (overwhelmingly)
+        other = sample_index_cohort(
+            np.random.default_rng([seed, round_index + 1]), n_clients, size
+        )
+        if n_clients > 10_000:
+            assert not np.array_equal(draws[0], other)

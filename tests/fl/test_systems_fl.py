@@ -15,6 +15,7 @@ from repro.fl.systems import (
     HeterogeneousSystem,
     IdealSystem,
     VirtualClock,
+    _spread_sigma,
     make_system,
 )
 
@@ -82,6 +83,23 @@ class TestSystemModels:
             HeterogeneousSystem(speed_spread=0.5)
         with pytest.raises(ValueError):
             HeterogeneousSystem(deadline_factor=0.5)
+
+    def test_spread_sigma_degenerate_edge(self):
+        """spread=1.0 is the valid degenerate log-normal (sigma 0,
+        every trait exactly 1); below 1 — including the spread=0 case
+        that used to produce -inf — is rejected loudly."""
+        assert _spread_sigma(1.0) == 0.0
+        assert _spread_sigma(4.0) == pytest.approx(np.log(4.0) / 2.0)
+        for bad in (0.0, 0.5, -1.0):
+            with pytest.raises(ValueError, match="spread"):
+                _spread_sigma(bad)
+        # a spread-1 profile binds and yields constant unit traits
+        system = HeterogeneousSystem(speed_spread=1.0, bandwidth_spread=1.0)
+        system.bind(_Task(), FLConfig(seed=0))
+        rng = np.random.default_rng(0)
+        for c in range(_Task.n_clients):
+            assert system.compute_seconds(1, c, 0.25, rng) == pytest.approx(0.25)
+            assert system.network(1, c).uplink_mbps == pytest.approx(14.0)
 
     def test_ideal_system_is_transparent(self):
         system = IdealSystem()

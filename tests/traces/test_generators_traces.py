@@ -1,0 +1,99 @@
+"""Synthetic trace generators: Zipf classes, diurnal cycles, determinism."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.traces import (
+    FLASH_DEVICE_CLASSES,
+    DeviceClassSpec,
+    diurnal_availability,
+    make_synthetic_trace,
+    zipf_class_weights,
+)
+
+
+class TestZipfWeights:
+    def test_normalized_and_decreasing(self):
+        weights = zipf_class_weights(5, 1.2)
+        assert weights.sum() == pytest.approx(1.0)
+        assert all(weights[i] > weights[i + 1] for i in range(4))
+
+    def test_exponent_zero_is_uniform(self):
+        np.testing.assert_allclose(zipf_class_weights(4, 0.0), np.full(4, 0.25))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_class_weights(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_class_weights(3, -1.0)
+
+
+class TestDiurnalAvailability:
+    def test_shape_and_bounds(self):
+        rates = diurnal_availability(period=24, mean=0.55, amplitude=0.35)
+        assert len(rates) == 24
+        assert all(0.05 <= r <= 1.0 for r in rates)
+        # a sinusoid actually cycles: the peak and trough differ
+        assert max(rates) - min(rates) > 0.3
+
+    def test_clipping(self):
+        rates = diurnal_availability(period=8, mean=0.5, amplitude=5.0, min_rate=0.1)
+        assert max(rates) == 1.0
+        assert min(rates) == 0.1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            diurnal_availability(period=0)
+        with pytest.raises(ValueError):
+            diurnal_availability(min_rate=0.0)
+
+
+class TestSyntheticTrace:
+    def test_records_keyed_by_seed_and_client(self):
+        a = make_synthetic_trace("a", seed=5)
+        b = make_synthetic_trace("b", seed=5)
+        # pure function of (seed, client): instances and access order
+        # never matter
+        assert a.client_record(999_983) == b.client_record(999_983)
+        c = make_synthetic_trace("c", seed=6)
+        assert a.client_record(999_983) != c.client_record(999_983)
+
+    def test_zipf_composition_dominated_by_first_class(self):
+        trace = make_synthetic_trace("t", seed=0, zipf_exponent=1.2)
+        classes = [trace.client_record(i).device_class for i in range(2000)]
+        counts = {name: classes.count(name) for name in trace.device_class_names()}
+        assert counts["low"] > counts["mid"] > counts["high"] > 0
+        weights = zipf_class_weights(3, 1.2)
+        assert counts["low"] / 2000 == pytest.approx(weights[0], abs=0.05)
+
+    def test_speeds_lognormal_around_class_medians(self):
+        trace = make_synthetic_trace("t", seed=1)
+        by_class: dict[str, list[float]] = {}
+        for i in range(3000):
+            record = trace.client_record(i)
+            by_class.setdefault(record.device_class, []).append(record.compute_speed)
+        for cls in FLASH_DEVICE_CLASSES:
+            speeds = np.array(by_class[cls.name])
+            assert np.median(speeds) == pytest.approx(cls.speed_median, rel=0.15)
+
+    def test_sized_trace_bounds_ids(self):
+        trace = make_synthetic_trace("t", n_clients=10)
+        trace.client_record(9)
+        with pytest.raises(ValueError):
+            trace.client_record(10)
+        with pytest.raises(ValueError):
+            trace.client_record(-1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_synthetic_trace("t", classes=())
+        with pytest.raises(ValueError):
+            make_synthetic_trace("t", n_clients=0)
+        with pytest.raises(ValueError):
+            DeviceClassSpec("x", speed_median=0.0, speed_sigma=0.1,
+                            bandwidth_median=1.0, bandwidth_sigma=0.1)
+        with pytest.raises(ValueError):
+            DeviceClassSpec("x", speed_median=1.0, speed_sigma=-0.1,
+                            bandwidth_median=1.0, bandwidth_sigma=0.1)

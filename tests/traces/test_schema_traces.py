@@ -1,0 +1,133 @@
+"""Trace schema: validation, availability schedule, strict-JSON I/O."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.traces import (
+    TRACE_FORMAT_VERSION,
+    ClientRecord,
+    TabularTrace,
+    load_trace,
+    make_synthetic_trace,
+    materialize,
+    save_trace,
+    trace_from_payload,
+)
+
+
+def _records(n=4):
+    return [
+        ClientRecord(client_id=c, device_class="mid", compute_speed=1.0 + c,
+                     bandwidth_divisor=2.0)
+        for c in range(n)
+    ]
+
+
+class TestClientRecord:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClientRecord(-1, "mid", 1.0, 1.0)
+        with pytest.raises(ValueError):
+            ClientRecord(0, "mid", 0.0, 1.0)
+        with pytest.raises(ValueError):
+            ClientRecord(0, "mid", 1.0, -1.0)
+
+
+class TestTabularTrace:
+    def test_records_must_cover_ids_in_order(self):
+        records = _records()
+        records[2], records[3] = records[3], records[2]
+        with pytest.raises(ValueError, match="in order"):
+            TabularTrace("t", records)
+        with pytest.raises(ValueError, match="at least one"):
+            TabularTrace("t", [])
+
+    def test_availability_validated(self):
+        with pytest.raises(ValueError):
+            TabularTrace("t", _records(), availability=())
+        with pytest.raises(ValueError):
+            TabularTrace("t", _records(), availability=(1.2,))
+        with pytest.raises(ValueError):
+            TabularTrace("t", _records(), availability=(0.5,), rounds_per_period=0)
+
+    def test_availability_rate_wraps_periods(self):
+        trace = TabularTrace("t", _records(), availability=(0.2, 0.8),
+                             rounds_per_period=2)
+        assert [trace.availability_rate(r) for r in range(1, 7)] == [
+            0.2, 0.2, 0.8, 0.8, 0.2, 0.2
+        ]
+        assert trace.mean_availability() == pytest.approx(0.5)
+        with pytest.raises(ValueError, match="1-based"):
+            trace.availability_rate(0)
+
+    def test_device_class_names_and_coverage(self):
+        trace = TabularTrace("t", _records())
+        assert trace.device_class_names() == ("mid",)
+        trace.require_fleet(4)
+        with pytest.raises(ValueError, match="records 4 clients"):
+            trace.require_fleet(5)
+
+    def test_client_record_bounds_checked(self):
+        """Negative ids must not silently wrap (python indexing) and
+        past-the-end ids must fail the same way the synthetic twin does."""
+        trace = TabularTrace("t", _records())
+        for bad in (-1, 4):
+            with pytest.raises(ValueError, match="outside the trace's fleet"):
+                trace.client_record(bad)
+
+
+class TestPersistence:
+    def test_tabular_roundtrip(self, tmp_path):
+        trace = TabularTrace("obs", _records(), availability=(0.3, 0.9))
+        path = tmp_path / "obs.json"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.kind == "tabular"
+        assert loaded.n_clients == 4
+        assert loaded.availability == (0.3, 0.9)
+        assert [loaded.client_record(c) for c in range(4)] == list(trace.records)
+
+    def test_synthetic_roundtrip_preserves_records(self, tmp_path):
+        trace = make_synthetic_trace("syn", seed=7, availability=(0.4, 1.0))
+        path = tmp_path / "syn.json"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.kind == "synthetic"
+        assert loaded.n_clients is None
+        for c in (0, 17, 123_456):
+            assert loaded.client_record(c) == trace.client_record(c)
+
+    def test_written_file_is_strict_json(self, tmp_path):
+        path = tmp_path / "t.json"
+        save_trace(TabularTrace("t", _records()), path)
+        payload = json.loads(path.read_text())  # strict parser
+        assert payload["format"] == TRACE_FORMAT_VERSION
+        assert "NaN" not in path.read_text()
+
+    def test_foreign_format_and_kind_rejected(self):
+        with pytest.raises(ValueError, match="format"):
+            trace_from_payload({"format": 999, "kind": "tabular"})
+        with pytest.raises(ValueError, match="kind"):
+            trace_from_payload({"format": TRACE_FORMAT_VERSION, "kind": "nope"})
+
+
+class TestMaterialize:
+    def test_snapshot_matches_lazy_records(self):
+        syn = make_synthetic_trace("syn", seed=3, availability=(0.5,))
+        tab = materialize(syn, 64)
+        assert tab.n_clients == 64
+        assert tab.availability == syn.availability
+        for c in (0, 31, 63):
+            assert tab.client_record(c) == syn.client_record(c)
+
+    def test_unsized_requires_n_clients(self):
+        with pytest.raises(ValueError, match="n_clients"):
+            materialize(make_synthetic_trace("syn"))
+
+    def test_cannot_grow_past_fleet(self):
+        tab = TabularTrace("t", _records())
+        with pytest.raises(ValueError):
+            materialize(tab, 10)
